@@ -1,0 +1,105 @@
+// Command crawlerd demonstrates the measurement pipeline over a real
+// network socket: it builds a simulated world, serves its web over HTTP on
+// localhost, then points the Dagger/VanGogh crawler at it through the
+// HTTP fetcher and prints what the crawl finds.
+//
+// Usage:
+//
+//	crawlerd [-addr 127.0.0.1:0] [-day 30] [-max 200] [-serve-only]
+//
+// With -serve-only it just serves the web (useful for poking at doorways
+// with curl: set the User-Agent and Referer headers and the ?simhost=
+// query parameter to select the site).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/searchsim"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+
+	"repro/internal/brands"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		day       = flag.Int("day", 30, "simulation day to crawl")
+		maxDom    = flag.Int("max", 200, "max domains to crawl")
+		serveOnly = flag.Bool("serve-only", false, "serve the simulated web and wait")
+	)
+	flag.Parse()
+
+	cfg := core.TestConfig()
+	cfg.ExtendedTail = false
+	fmt.Println("building simulated world...")
+	w := core.NewWorld(cfg)
+	w.Engine.Advance(simclock.Day(*day))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d simulated domains on %s\n", w.Web.Domains(), base)
+	fmt.Printf("example: curl -H 'User-Agent: Googlebot' '%s/?simhost=<domain>&u=/'\n", base)
+	go func() {
+		if err := http.Serve(ln, w.Web); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if *serveOnly {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		return
+	}
+
+	// Crawl today's SERPs over the real socket.
+	det := crawler.NewDetector(simweb.NewHTTPFetcher(base))
+	c := crawler.New(det)
+	urls := make(map[string]string)
+	for _, v := range brands.All() {
+		w.Engine.EachSlot(v, func(_, _ int, s *searchsim.Slot) {
+			if len(urls) < *maxDom {
+				if _, dup := urls[s.Domain]; !dup {
+					urls[s.Domain] = s.URL
+				}
+			}
+		})
+	}
+	fmt.Printf("crawling %d unique result domains over HTTP...\n", len(urls))
+	verdicts := c.CheckDomains(urls, simclock.Day(*day))
+
+	type row struct {
+		domain string
+		v      crawler.Verdict
+	}
+	var poisoned []row
+	for dom, v := range verdicts {
+		if v.Cloaked {
+			poisoned = append(poisoned, row{dom, v})
+		}
+	}
+	sort.Slice(poisoned, func(i, j int) bool { return poisoned[i].domain < poisoned[j].domain })
+	fmt.Printf("\n%d of %d domains are cloaking:\n", len(poisoned), len(urls))
+	for _, r := range poisoned {
+		truth := "?"
+		if spec, ok := w.TruthCampaign(r.v.StoreDomain); ok {
+			truth = spec.Name
+		}
+		fmt.Printf("  %-34s %-16s store=%-30s campaign=%s\n",
+			r.domain, r.v.Detector, r.v.StoreDomain, truth)
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates a single table or figure by id.
+//
+// Usage:
+//
+//	experiments -run table1 [-scale 0.06] [-terms 10] [-slots 50] [-seed 1]
+//	experiments -list
+//	experiments -run abl-l1      (ablations build their own worlds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	searchseizure "repro"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment or ablation id (see -list)")
+		list  = flag.Bool("list", false, "list available experiments and ablations")
+		scale = flag.Float64("scale", 0.06, "infrastructure scale (1.0 = paper scale)")
+		terms = flag.Int("terms", 10, "search terms per vertical (paper: 100)")
+		slots = flag.Int("slots", 50, "results per term (paper: 100)")
+		seed  = flag.Uint64("seed", 1, "study seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments (tables and figures):")
+		for _, e := range searchseizure.Experiments() {
+			fmt.Printf("  %-13s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("ablations (design choices; run alternate worlds):")
+		for _, a := range searchseizure.Ablations() {
+			fmt.Printf("  %-13s %s\n", a.ID, a.Title)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := searchseizure.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.TermsPerVertical = *terms
+	cfg.SlotsPerTerm = *slots
+	cfg.Seed = *seed
+	cfg.TailCampaigns = 18
+	cfg.SeedDocsTarget = 350
+
+	if strings.HasPrefix(*run, "abl-") {
+		abl := searchseizure.TestConfig()
+		abl.Seed = *seed
+		abl.ExtendedTail = false
+		out, err := searchseizure.RunAblation(*run, abl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	study := searchseizure.NewStudy(cfg)
+	out, err := study.Experiment(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

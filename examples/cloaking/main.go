@@ -1,0 +1,104 @@
+// Cloaking: the §3.1.1 story, over a real HTTP socket. A redirect-cloaking
+// doorway and an iframe-cloaking doorway are served on localhost; the
+// example fetches them as Googlebot, as a search click-through, and as a
+// direct visitor, then shows why semantic diffing (Dagger) catches the
+// first but only a rendering crawler (VanGogh) catches the second.
+//
+//	go run ./examples/cloaking
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/crawler"
+	"repro/internal/htmlgen"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+	"repro/internal/store"
+)
+
+func main() {
+	r := rng.New(2014)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.01)
+	gen := htmlgen.New(r)
+	web := simweb.NewWeb()
+
+	find := func(name string) *campaign.Deployment {
+		for _, d := range deps {
+			if d.Spec.Name == name {
+				return d
+			}
+		}
+		panic("missing " + name)
+	}
+	mount := func(dep *campaign.Deployment) (doorway, storeDom string) {
+		st := store.New(dep.Stores[0], r.Sub("store"), 245)
+		storeDom = dep.Stores[0].Domains[0]
+		web.Register(storeDom, &simweb.StoreSite{Store: st, Gen: gen, Window: simclock.StudyWindow()})
+		dw := dep.Doorways[0]
+		web.Register(dw.Domain, &simweb.DoorwaySite{
+			Doorway: dw, Gen: gen,
+			Terms:   []string{"cheap luxury goods", "luxury outlet online"},
+			Resolve: func(simclock.Day) string { return "http://" + storeDom + "/" },
+		})
+		return dw.Domain, storeDom
+	}
+	redirDoor, redirStore := mount(find("KEY"))       // redirect cloaking
+	iframeDoor, iframeStore := mount(find("MOONKIS")) // iframe cloaking
+
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	fmt.Printf("simulated web on %s\n\n", srv.URL)
+	f := simweb.NewHTTPFetcher(srv.URL)
+
+	show := func(title, url, ua, ref string) simweb.Response {
+		resp := f.Fetch(simweb.Request{URL: url, UserAgent: ua, Referrer: ref})
+		snippet := resp.Body
+		if i := strings.Index(snippet, "\n"); i > 0 {
+			snippet = snippet[:i]
+		}
+		if len(snippet) > 60 {
+			snippet = snippet[:60]
+		}
+		fmt.Printf("  %-24s -> %d  %s\n", title, resp.Status, firstNonEmpty(resp.Location, snippet))
+		return resp
+	}
+
+	fmt.Printf("[redirect cloaking] doorway %s (store %s)\n", redirDoor, redirStore)
+	show("as Googlebot", "http://"+redirDoor+"/", simweb.CrawlerUA, "")
+	show("as search click-through", "http://"+redirDoor+"/", simweb.BrowserUA, simweb.SearchReferrer)
+	show("as direct visitor", "http://"+redirDoor+"/", simweb.BrowserUA, "")
+
+	fmt.Printf("\n[iframe cloaking] doorway %s (store %s)\n", iframeDoor, iframeStore)
+	bot := show("as Googlebot", "http://"+iframeDoor+"/", simweb.CrawlerUA, "")
+	user := show("as search click-through", "http://"+iframeDoor+"/", simweb.BrowserUA, simweb.SearchReferrer)
+	fmt.Printf("  identical bodies for bot and user: %v (nothing for a diff to see)\n", bot.Body == user.Body)
+
+	fmt.Println("\nrunning the detectors over HTTP:")
+	full := crawler.NewDetector(f)
+	diffOnly := crawler.NewDetector(f)
+	diffOnly.Opts.EnableVanGogh = false
+	diffOnly.Opts.RenderOnDagger = false
+
+	report := func(name, url string) {
+		v1 := diffOnly.CheckURL(url, 0)
+		v2 := full.CheckURL(url, 0)
+		fmt.Printf("  %-18s diff-only: %-38s with rendering: %s\n", name, v1, v2)
+	}
+	report("redirect doorway", "http://"+redirDoor+"/")
+	report("iframe doorway", "http://"+iframeDoor+"/")
+
+	fmt.Println("\nthe iframe doorway is invisible to diff-only detection — the paper's case for rendering crawlers at scale.")
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return "Location: " + a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+// Infiltration: the §3.1.2 technique. Campaign doorway kits poll a C&C
+// gate for the storefront roster they should forward traffic to; the study
+// recovered each kit's gate credential from its source code and polled the
+// same endpoint, enumerating a campaign's stores independently of search.
+// This example infiltrates BIGLOVE's C&C, watches the directive change as
+// a seizure lands and the campaign re-points to a backup, and contrasts
+// the roster with what a search crawl alone can see.
+//
+//	go run ./examples/infiltration
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cnc"
+	"repro/internal/core"
+	"repro/internal/simclock"
+)
+
+func main() {
+	cfg := core.TestConfig()
+	cfg.ExtendedTail = false
+	fmt.Println("building the world and running the study (the C&C gates are live throughout)...")
+	w := core.NewWorld(cfg)
+	d := w.Run()
+
+	const target = "biglove"
+	fmt.Printf("\ntarget campaign: BIGLOVE; C&C host %s, gate token %s (recovered from kit source)\n",
+		cnc.Domain(target), cnc.GateToken(target))
+
+	// Poll the directive across the study and print roster transitions.
+	var prev map[string]bool
+	for day := simclock.Day(0); int(day) < d.StudyDays; day += 20 {
+		dir, err := cnc.Infiltrate(w.Web, target, day)
+		if err != nil {
+			fmt.Printf("day %3d: gate error: %v\n", day, err)
+			continue
+		}
+		cur := make(map[string]bool)
+		for _, dom := range dir.Domains() {
+			cur[dom] = true
+		}
+		var gone, fresh []string
+		for dom := range prev {
+			if !cur[dom] {
+				gone = append(gone, dom)
+			}
+		}
+		for dom := range cur {
+			if prev != nil && !prev[dom] {
+				fresh = append(fresh, dom)
+			}
+		}
+		fmt.Printf("day %3d: %2d live stores, %d brands", day, len(dir.Entries), len(dir.Brands()))
+		if len(gone) > 0 {
+			fmt.Printf("; dropped %v (seized or rotated)", gone)
+		}
+		if len(fresh) > 0 {
+			fmt.Printf("; added %v", fresh)
+		}
+		fmt.Println()
+		prev = cur
+	}
+
+	// Compare with the crawl's view.
+	union := make(map[string]bool)
+	for day := simclock.Day(0); int(day) < d.StudyDays; day += 10 {
+		if dir, err := cnc.Infiltrate(w.Web, target, day); err == nil {
+			for _, dom := range dir.Domains() {
+				union[dom] = true
+			}
+		}
+	}
+	var crawled int
+	for dom := range union {
+		if _, ok := d.StoreFirstSeen[dom]; ok {
+			crawled++
+		}
+	}
+	fmt.Printf("\nacross the study the directive named %d distinct store domains;\n", len(union))
+	fmt.Printf("the search crawl independently observed %d of them (%.0f%%).\n",
+		crawled, 100*float64(crawled)/float64(max(1, len(union))))
+	fmt.Println("\nthe paper's point: crawls see only the SEO'ed subset — infiltration sees the business.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package analytics implements the AWStats-style web analytics surface of
+// §4.4: stores run a log analyser whose report page some of them leave
+// publicly readable at the default URL. The study fetched those pages
+// periodically and extracted visitor counts, page views and referrers.
+//
+// This package renders a report page from a store's traffic series and
+// parses such pages back into structured data, so the measurement pipeline
+// exercises the same scrape-and-parse path the paper did.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/htmlparse"
+	"repro/internal/simclock"
+)
+
+// DefaultPath is the well-known AWStats CGI path the crawler probes,
+// mirroring http://<site>/awstats/awstats.pl?config=<site>.
+const DefaultPath = "/awstats/awstats.pl"
+
+// Report is the structured content of one AWStats page.
+type Report struct {
+	Site      string
+	Days      []DayRow
+	Referrers []RefRow
+}
+
+// DayRow is one day of aggregate traffic.
+type DayRow struct {
+	Date   string // YYYY-MM-DD
+	Visits int
+	Pages  int
+}
+
+// RefRow is one referrer domain and its visit count.
+type RefRow struct {
+	Domain string
+	Visits int
+}
+
+// TotalVisits sums the report's daily visits.
+func (r *Report) TotalVisits() int {
+	var n int
+	for _, d := range r.Days {
+		n += d.Visits
+	}
+	return n
+}
+
+// TotalPages sums the report's daily page views.
+func (r *Report) TotalPages() int {
+	var n int
+	for _, d := range r.Days {
+		n += d.Pages
+	}
+	return n
+}
+
+// PagesPerVisit returns the mean pages fetched per visit (0 if no visits).
+func (r *Report) PagesPerVisit() float64 {
+	v := r.TotalVisits()
+	if v == 0 {
+		return 0
+	}
+	return float64(r.TotalPages()) / float64(v)
+}
+
+// Render produces the AWStats report HTML for a site given its daily
+// traffic series over the window. Only days with traffic are listed, as a
+// real log analyser would.
+func Render(site string, w simclock.Window, visits, pages []float64, referrers map[string]int) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>Statistics for %s (AWStats 7.0)</title>\n", site)
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1 class=\"aws-site\">%s</h1>\n", site)
+	b.WriteString("<table class=\"aws-days\">\n<tr><th>Day</th><th>Visits</th><th>Pages</th></tr>\n")
+	for d := 0; d < len(visits) && d < w.Days(); d++ {
+		v := int(visits[d] + 0.5)
+		p := 0
+		if d < len(pages) {
+			p = int(pages[d] + 0.5)
+		}
+		if v == 0 && p == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "<tr class=\"day\"><td>%s</td><td>%d</td><td>%d</td></tr>\n",
+			w.Date(simclock.Day(d)).Format("2006-01-02"), v, p)
+	}
+	b.WriteString("</table>\n")
+	b.WriteString("<table class=\"aws-referrers\">\n<tr><th>Referrer</th><th>Visits</th></tr>\n")
+	doms := make([]string, 0, len(referrers))
+	for dom := range referrers {
+		doms = append(doms, dom)
+	}
+	sort.Slice(doms, func(i, j int) bool {
+		if referrers[doms[i]] != referrers[doms[j]] {
+			return referrers[doms[i]] > referrers[doms[j]]
+		}
+		return doms[i] < doms[j]
+	})
+	for _, dom := range doms {
+		fmt.Fprintf(&b, "<tr class=\"ref\"><td>%s</td><td>%d</td></tr>\n", dom, referrers[dom])
+	}
+	b.WriteString("</table>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// Parse extracts a Report from an AWStats page. It returns an error if the
+// page does not look like an AWStats report.
+func Parse(page string) (*Report, error) {
+	root := htmlparse.Parse(page)
+	rep := &Report{}
+	if h1 := root.Find("h1"); h1 != nil {
+		rep.Site = strings.TrimSpace(h1.InnerText())
+	}
+	title := root.Find("title")
+	if title == nil || !strings.Contains(title.InnerText(), "AWStats") {
+		return nil, fmt.Errorf("analytics: not an AWStats page")
+	}
+	for _, tr := range root.FindAll("tr") {
+		class, _ := tr.Attr("class")
+		cells := tr.FindAll("td")
+		switch class {
+		case "day":
+			if len(cells) != 3 {
+				continue
+			}
+			v, err1 := strconv.Atoi(strings.TrimSpace(cells[1].InnerText()))
+			p, err2 := strconv.Atoi(strings.TrimSpace(cells[2].InnerText()))
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			rep.Days = append(rep.Days, DayRow{
+				Date:   strings.TrimSpace(cells[0].InnerText()),
+				Visits: v,
+				Pages:  p,
+			})
+		case "ref":
+			if len(cells) != 2 {
+				continue
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(cells[1].InnerText()))
+			if err != nil {
+				continue
+			}
+			rep.Referrers = append(rep.Referrers, RefRow{
+				Domain: strings.TrimSpace(cells[0].InnerText()),
+				Visits: v,
+			})
+		}
+	}
+	return rep, nil
+}

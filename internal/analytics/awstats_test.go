@@ -1,0 +1,88 @@
+package analytics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	w := simclock.StudyWindow()
+	visits := make([]float64, w.Days())
+	pages := make([]float64, w.Days())
+	visits[0], pages[0] = 120, 672
+	visits[10], pages[10] = 80, 448
+	refs := map[string]int{"door1.com": 90, "door2.net": 40}
+	page := Render("cocovipbags.com", w, visits, pages, refs)
+	rep, err := Parse(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Site != "cocovipbags.com" {
+		t.Fatalf("site = %q", rep.Site)
+	}
+	if len(rep.Days) != 2 {
+		t.Fatalf("days = %d, want 2 (zero days omitted)", len(rep.Days))
+	}
+	if rep.Days[0].Date != "2013-11-13" || rep.Days[0].Visits != 120 || rep.Days[0].Pages != 672 {
+		t.Fatalf("day 0 = %+v", rep.Days[0])
+	}
+	if rep.TotalVisits() != 200 || rep.TotalPages() != 1120 {
+		t.Fatalf("totals = %d/%d", rep.TotalVisits(), rep.TotalPages())
+	}
+	if len(rep.Referrers) != 2 || rep.Referrers[0].Domain != "door1.com" {
+		t.Fatalf("referrers = %+v (must be sorted by visits desc)", rep.Referrers)
+	}
+}
+
+func TestPagesPerVisit(t *testing.T) {
+	rep := &Report{Days: []DayRow{{Visits: 100, Pages: 560}}}
+	if got := rep.PagesPerVisit(); math.Abs(got-5.6) > 1e-9 {
+		t.Fatalf("pages/visit = %v", got)
+	}
+	empty := &Report{}
+	if empty.PagesPerVisit() != 0 {
+		t.Fatal("empty report must have 0 pages/visit")
+	}
+}
+
+func TestParseRejectsNonAWStats(t *testing.T) {
+	if _, err := Parse("<html><head><title>shop</title></head><body></body></html>"); err == nil {
+		t.Fatal("non-AWStats page must be rejected")
+	}
+}
+
+func TestParseTolerantOfJunkRows(t *testing.T) {
+	page := `<html><head><title>AWStats</title></head><body><h1>x.com</h1>
+	<table><tr class="day"><td>2014-01-01</td><td>nope</td><td>5</td></tr>
+	<tr class="day"><td>2014-01-02</td><td>3</td><td>17</td></tr>
+	<tr class="ref"><td>d.com</td><td>bad</td></tr></table></body></html>`
+	rep, err := Parse(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Days) != 1 || rep.Days[0].Visits != 3 {
+		t.Fatalf("days = %+v", rep.Days)
+	}
+	if len(rep.Referrers) != 0 {
+		t.Fatalf("referrers = %+v", rep.Referrers)
+	}
+}
+
+func TestRenderOmitsDeadDays(t *testing.T) {
+	w := simclock.StudyWindow()
+	visits := make([]float64, w.Days())
+	pages := make([]float64, w.Days())
+	page := Render("quiet.com", w, visits, pages, nil)
+	if strings.Contains(page, `class="day"`) {
+		t.Fatal("report for dead site must have no day rows")
+	}
+}
+
+func TestDefaultPath(t *testing.T) {
+	if DefaultPath != "/awstats/awstats.pl" {
+		t.Fatal("default AWStats path changed")
+	}
+}

@@ -1,0 +1,301 @@
+// Package brands defines the sixteen counterfeit-luxury verticals the study
+// monitors and the two search-term selection methodologies of §4.1.1: terms
+// extracted from KEY-campaign doorway URLs, and terms expanded from a
+// Google-Suggest-style autocomplete service.
+package brands
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Vertical identifies one monitored brand vertical.
+type Vertical int
+
+// The sixteen verticals of Table 1, in the paper's order.
+const (
+	Abercrombie Vertical = iota
+	Adidas
+	BeatsByDre
+	Clarisonic
+	EdHardy
+	Golf
+	IsabelMarant
+	LouisVuitton
+	Moncler
+	Nike
+	RalphLauren
+	Sunglasses
+	Tiffany
+	Uggs
+	Watches
+	Woolrich
+	NumVerticals // sentinel: number of verticals
+)
+
+var verticalNames = [...]string{
+	"Abercrombie", "Adidas", "Beats By Dre", "Clarisonic", "Ed Hardy",
+	"Golf", "Isabel Marant", "Louis Vuitton", "Moncler", "Nike",
+	"Ralph Lauren", "Sunglasses", "Tiffany", "Uggs", "Watches", "Woolrich",
+}
+
+// String implements fmt.Stringer.
+func (v Vertical) String() string {
+	if v < 0 || v >= NumVerticals {
+		return fmt.Sprintf("Vertical(%d)", int(v))
+	}
+	return verticalNames[v]
+}
+
+// All returns the sixteen verticals in Table 1 order.
+func All() []Vertical {
+	vs := make([]Vertical, NumVerticals)
+	for i := range vs {
+		vs[i] = Vertical(i)
+	}
+	return vs
+}
+
+// Composite reports whether the vertical is a category composite of several
+// brands (Golf, Sunglasses, Watches) rather than a single brand.
+func (v Vertical) Composite() bool {
+	switch v {
+	case Golf, Sunglasses, Watches:
+		return true
+	}
+	return false
+}
+
+// SuggestSeeded reports whether the vertical's terms were selected with the
+// Google-Suggest methodology rather than extracted from KEY doorways. These
+// are the three verticals the KEY campaign does not target (starred in
+// Table 1: Ed Hardy, Louis Vuitton, Uggs).
+func (v Vertical) SuggestSeeded() bool {
+	switch v {
+	case EdHardy, LouisVuitton, Uggs:
+		return true
+	}
+	return false
+}
+
+// MemberBrands returns the brand names a vertical covers: one for single
+// brand verticals, several for composites.
+func (v Vertical) MemberBrands() []string {
+	switch v {
+	case Golf:
+		return []string{"Titleist", "Callaway", "TaylorMade", "Ping"}
+	case Sunglasses:
+		return []string{"Oakley", "Ray-Ban", "Christian Dior", "Prada Eyewear"}
+	case Watches:
+		return []string{"Rolex", "Omega", "Breitling", "Cartier"}
+	default:
+		return []string{v.String()}
+	}
+}
+
+// adjectives are the qualifier words counterfeit shoppers combine with
+// brand names; the Suggest methodology prepends them to seed queries.
+var adjectives = []string{
+	"cheap", "new", "online", "outlet", "sale", "store", "discount",
+	"replica", "free shipping", "clearance", "wholesale", "authentic",
+}
+
+// products are generic product nouns appended to brand names to form
+// long-tail terms.
+var products = []string{
+	"handbags", "wallet", "shoes", "boots", "jacket", "headphones",
+	"sunglasses", "watch", "belt", "scarf", "sneakers", "hoodie", "polo",
+	"earbuds", "tote", "backpack", "coat", "slippers", "bracelet", "ring",
+}
+
+// TermSet is a fixed set of search terms monitored for one vertical,
+// together with the methodology that produced it.
+type TermSet struct {
+	Vertical Vertical
+	Method   Method
+	Terms    []string
+}
+
+// Method identifies a term-selection methodology.
+type Method int
+
+// The two methodologies of §4.1.1.
+const (
+	// MethodKeyDoorways extracts keywords from the URL paths of KEY
+	// campaign doorway pages found via site: queries.
+	MethodKeyDoorways Method = iota
+	// MethodSuggest recursively expands autocomplete suggestions seeded
+	// with the brand name and adjective+brand concatenations.
+	MethodSuggest
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == MethodKeyDoorways {
+		return "key-doorways"
+	}
+	return "google-suggest"
+}
+
+// Terms generates the monitored term set for a vertical using the
+// methodology the paper used for it (KEY-derived for the original 13,
+// Suggest-derived for the starred three), drawing n unique terms.
+func Terms(r *rng.Source, v Vertical, n int) TermSet {
+	m := MethodKeyDoorways
+	if v.SuggestSeeded() {
+		m = MethodSuggest
+	}
+	return TermsByMethod(r, v, m, n)
+}
+
+// TermsByMethod generates a term set with an explicit methodology; the §4.1.1
+// bias experiment generates both sets for the same vertical and compares the
+// campaigns each discovers.
+func TermsByMethod(r *rng.Source, v Vertical, m Method, n int) TermSet {
+	sub := r.Sub(fmt.Sprintf("terms/%s/%d", v, m))
+	pool := candidatePool(sub, v, m)
+	sub.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if n > len(pool) {
+		n = len(pool)
+	}
+	terms := append([]string(nil), pool[:n]...)
+	sort.Strings(terms)
+	return TermSet{Vertical: v, Method: m, Terms: terms}
+}
+
+// candidatePool synthesises the universe of candidate terms a methodology
+// can surface. Both methodologies draw on the same underlying shopper
+// vocabulary — which is why the paper found the same campaigns either way —
+// but combine the pieces differently, which is why the literal term overlap
+// between the two sets is tiny.
+func candidatePool(r *rng.Source, v Vertical, m Method) []string {
+	brandsIn := v.MemberBrands()
+	seen := make(map[string]bool)
+	var pool []string
+	add := func(t string) {
+		t = strings.ToLower(strings.Join(strings.Fields(t), " "))
+		if t != "" && !seen[t] {
+			seen[t] = true
+			pool = append(pool, t)
+		}
+	}
+	switch m {
+	case MethodKeyDoorways:
+		// KEY doorway URL paths favour adjective+brand+product keyword
+		// stuffing with occasional year/model suffixes.
+		for _, b := range brandsIn {
+			for _, adj := range adjectives {
+				for _, p := range products {
+					if r.Bool(0.5) {
+						add(fmt.Sprintf("%s %s %s", adj, b, p))
+					}
+					if r.Bool(0.15) {
+						add(fmt.Sprintf("%s %s %s 2014", adj, b, p))
+					}
+				}
+				if r.Bool(0.5) {
+					add(fmt.Sprintf("%s %s", adj, b))
+				}
+			}
+			for _, p := range products {
+				if r.Bool(0.4) {
+					add(fmt.Sprintf("%s %s 2014", b, p))
+				}
+				if r.Bool(0.3) {
+					add(fmt.Sprintf("buy %s %s", b, p))
+				}
+			}
+		}
+	case MethodSuggest:
+		// Suggest expansions look like what shoppers actually type:
+		// brand-first phrases, localisations, and question forms.
+		suffixes := []string{"", " for sale", " uk", " usa", " online",
+			" reviews", " price", " on sale", " free shipping", " 2014"}
+		for _, b := range brandsIn {
+			for _, p := range products {
+				for _, sfx := range suffixes {
+					if r.Bool(0.45) {
+						add(fmt.Sprintf("%s %s%s", b, p, sfx))
+					}
+				}
+			}
+			for _, adj := range adjectives {
+				if r.Bool(0.6) {
+					add(fmt.Sprintf("%s %s", adj, b))
+				}
+				for _, p := range products {
+					if r.Bool(0.12) {
+						add(fmt.Sprintf("%s %s %s online", adj, b, p))
+					}
+				}
+			}
+			add(fmt.Sprintf("where to buy %s", b))
+			add(fmt.Sprintf("%s official site", b))
+			add(fmt.Sprintf("is %s legit", b))
+		}
+	}
+	return pool
+}
+
+// Overlap returns the number of terms the two sets share. The paper found
+// four overlapping terms out of a thousand across ten verticals.
+func Overlap(a, b TermSet) int {
+	in := make(map[string]bool, len(a.Terms))
+	for _, t := range a.Terms {
+		in[t] = true
+	}
+	var n int
+	for _, t := range b.Terms {
+		if in[t] {
+			n++
+		}
+	}
+	return n
+}
+
+// DailyQueryVolume returns the simulated number of users issuing queries in
+// this vertical per day — the demand side that PSR traffic is drawn from.
+// Values are scaled relative to each other following the verticals'
+// popularity in the paper (Louis Vuitton, Uggs, Beats By Dre and Moncler
+// are the heavy hitters).
+func (v Vertical) DailyQueryVolume() float64 {
+	switch v {
+	case LouisVuitton:
+		return 52000
+	case Uggs:
+		return 44000
+	case BeatsByDre:
+		return 38000
+	case Moncler:
+		return 30000
+	case Nike:
+		return 26000
+	case IsabelMarant:
+		return 17000
+	case Abercrombie:
+		return 15000
+	case Adidas:
+		return 14000
+	case Watches:
+		return 13000
+	case Sunglasses:
+		return 12000
+	case EdHardy:
+		return 10000
+	case RalphLauren:
+		return 9000
+	case Woolrich:
+		return 8000
+	case Tiffany:
+		return 7000
+	case Golf:
+		return 4000
+	case Clarisonic:
+		return 2500
+	default:
+		return 1000
+	}
+}

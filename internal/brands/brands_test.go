@@ -1,0 +1,138 @@
+package brands
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSixteenVerticals(t *testing.T) {
+	if len(All()) != 16 {
+		t.Fatalf("got %d verticals, want 16", len(All()))
+	}
+}
+
+func TestVerticalNames(t *testing.T) {
+	if LouisVuitton.String() != "Louis Vuitton" {
+		t.Fatalf("name = %q", LouisVuitton.String())
+	}
+	if Vertical(99).String() != "Vertical(99)" {
+		t.Fatalf("out-of-range name = %q", Vertical(99).String())
+	}
+}
+
+func TestStarredVerticalsUseSuggest(t *testing.T) {
+	// Table 1 stars Ed Hardy, Louis Vuitton and Uggs: the KEY campaign does
+	// not target them, so their terms come from the Suggest methodology.
+	for _, v := range All() {
+		want := v == EdHardy || v == LouisVuitton || v == Uggs
+		if got := v.SuggestSeeded(); got != want {
+			t.Errorf("%s SuggestSeeded = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestComposites(t *testing.T) {
+	for _, v := range All() {
+		want := v == Golf || v == Sunglasses || v == Watches
+		if got := v.Composite(); got != want {
+			t.Errorf("%s Composite = %v, want %v", v, got, want)
+		}
+		if got := len(v.MemberBrands()); (got > 1) != want {
+			t.Errorf("%s has %d member brands, composite=%v", v, got, want)
+		}
+	}
+}
+
+func TestTermsCountAndUniqueness(t *testing.T) {
+	r := rng.New(1)
+	for _, v := range All() {
+		ts := Terms(r, v, 100)
+		if len(ts.Terms) != 100 {
+			t.Fatalf("%s: got %d terms, want 100", v, len(ts.Terms))
+		}
+		seen := make(map[string]bool)
+		for _, term := range ts.Terms {
+			if seen[term] {
+				t.Fatalf("%s: duplicate term %q", v, term)
+			}
+			seen[term] = true
+			if term != strings.ToLower(term) {
+				t.Fatalf("%s: term %q not lowercase", v, term)
+			}
+		}
+	}
+}
+
+func TestTermsDeterministic(t *testing.T) {
+	a := Terms(rng.New(5), BeatsByDre, 100)
+	b := Terms(rng.New(5), BeatsByDre, 100)
+	if len(a.Terms) != len(b.Terms) {
+		t.Fatal("nondeterministic term count")
+	}
+	for i := range a.Terms {
+		if a.Terms[i] != b.Terms[i] {
+			t.Fatalf("term %d differs: %q vs %q", i, a.Terms[i], b.Terms[i])
+		}
+	}
+}
+
+func TestTermsMentionBrand(t *testing.T) {
+	r := rng.New(2)
+	ts := Terms(r, Moncler, 50)
+	for _, term := range ts.Terms {
+		if !strings.Contains(term, "moncler") {
+			t.Fatalf("term %q does not mention the brand", term)
+		}
+	}
+}
+
+func TestMethodologiesHaveLowOverlap(t *testing.T) {
+	// §4.1.1: across ten verticals only 4 of 1000 terms overlapped. Require
+	// the overlap between the two methodologies to stay small.
+	r := rng.New(3)
+	var overlap, total int
+	for _, v := range All() {
+		if v.Composite() {
+			continue
+		}
+		a := TermsByMethod(r, v, MethodKeyDoorways, 100)
+		b := TermsByMethod(r, v, MethodSuggest, 100)
+		overlap += Overlap(a, b)
+		total += 100
+	}
+	if overlap*100 > total*5 { // under 5%
+		t.Fatalf("methodology overlap %d/%d too high", overlap, total)
+	}
+}
+
+func TestOverlapSymmetric(t *testing.T) {
+	r := rng.New(4)
+	a := TermsByMethod(r, Nike, MethodKeyDoorways, 80)
+	b := TermsByMethod(r, Nike, MethodSuggest, 80)
+	if Overlap(a, b) != Overlap(b, a) {
+		t.Fatal("overlap not symmetric")
+	}
+	if Overlap(a, a) != len(a.Terms) {
+		t.Fatal("self overlap must equal set size")
+	}
+}
+
+func TestDailyQueryVolumeOrdering(t *testing.T) {
+	// The heavy verticals of the paper must dominate the light ones.
+	if LouisVuitton.DailyQueryVolume() <= Clarisonic.DailyQueryVolume() {
+		t.Fatal("Louis Vuitton must out-demand Clarisonic")
+	}
+	for _, v := range All() {
+		if v.DailyQueryVolume() <= 0 {
+			t.Fatalf("%s volume must be positive", v)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodKeyDoorways.String() != "key-doorways" || MethodSuggest.String() != "google-suggest" {
+		t.Fatal("method names changed")
+	}
+}

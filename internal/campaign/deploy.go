@@ -1,0 +1,236 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/brands"
+	"repro/internal/rng"
+)
+
+// Doorway is one doorway domain operated by a campaign: a compromised
+// legitimate site hosting injected, cloaked pages that rank for the
+// campaign's targeted terms.
+type Doorway struct {
+	ID       string
+	Domain   string
+	Campaign *Spec
+	// Vertical is the vertical this doorway is primarily SEO'ed for;
+	// campaigns spread their fleet across all their verticals.
+	Vertical brands.Vertical
+}
+
+// StoreDeployment is one storefront operated by a campaign, including the
+// ordered list of domains it will use over its lifetime (the head is the
+// launch domain; the tail are pre-registered backups used after seizures or
+// proactive rotation).
+type StoreDeployment struct {
+	ID       string
+	Campaign *Spec
+	Vertical brands.Vertical
+	Brand    string
+	Locale   string // "" for the default market; "uk", "de", "jp", "it", ...
+	Domains  []string
+}
+
+// Label renders the store the way the paper labels Figure 6's curves,
+// e.g. "abercrombie[uk]".
+func (sd *StoreDeployment) Label() string {
+	b := strings.ToLower(strings.ReplaceAll(sd.Brand, " ", ""))
+	if sd.Locale == "" {
+		return b
+	}
+	return fmt.Sprintf("%s[%s]", b, sd.Locale)
+}
+
+// Deployment is the materialised infrastructure of one campaign.
+type Deployment struct {
+	Spec     *Spec
+	Doorways []*Doorway
+	Stores   []*StoreDeployment
+}
+
+// scaleCount scales a paper-scale count by scale, with a floor of 1.
+func scaleCount(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+var (
+	benignWords = []string{
+		"garden", "bakery", "parish", "cycling", "alumni", "quartet",
+		"pottery", "rotary", "archive", "birding", "chess", "violin",
+		"kayak", "museum", "library", "orchard", "vintage", "harbor",
+		"meadow", "summit", "prairie", "willow", "juniper", "copper",
+	}
+	benignSuffixes = []string{
+		"club", "society", "blog", "studio", "press", "times", "journal",
+		"collective", "workshop", "guild", "review", "notes",
+	}
+	storeAdjectives = []string{
+		"cheap", "vip", "outlet", "best", "top", "luxe", "discount",
+		"official", "super", "mall", "shop", "hot", "love", "coco",
+	}
+	storeNouns = []string{
+		"bags", "handbags", "boots", "store", "shop", "sale", "online",
+		"mart", "outlet", "deals", "zone", "market", "emporium",
+	}
+	tlds = []string{"com", "net", "org", "info", "biz", "us", "co.uk"}
+)
+
+// doorwayDomain synthesises a plausible compromised-site hostname.
+func doorwayDomain(r *rng.Source, used map[string]bool) string {
+	for {
+		d := fmt.Sprintf("%s%s%d.%s",
+			rng.Pick(r, benignWords), rng.Pick(r, benignSuffixes),
+			r.Intn(1000), rng.Pick(r, tlds))
+		if !used[d] {
+			used[d] = true
+			return d
+		}
+	}
+}
+
+// storeDomain synthesises a counterfeit-storefront hostname mentioning the
+// brand.
+func storeDomain(r *rng.Source, brand string, used map[string]bool) string {
+	b := strings.ToLower(strings.ReplaceAll(brand, " ", ""))
+	if len(b) > 12 {
+		b = b[:12]
+	}
+	for {
+		d := fmt.Sprintf("%s%s%s%d.%s",
+			rng.Pick(r, storeAdjectives), b, rng.Pick(r, storeNouns),
+			r.Intn(100), rng.Pick(r, tlds))
+		if !used[d] {
+			used[d] = true
+			return d
+		}
+	}
+}
+
+// backupDomains is how many domains each store pre-registers (primary plus
+// spares); the paper observes campaigns re-pointing doorways to backups
+// repeatedly, some of which are then seized in turn.
+const backupDomains = 6
+
+// Deploy materialises one campaign's infrastructure at the given scale.
+// used tracks domains already allocated across campaigns so the synthetic
+// web has no collisions; pass a shared map when deploying a roster.
+func Deploy(r *rng.Source, spec *Spec, scale float64, used map[string]bool) *Deployment {
+	cr := r.Sub("deploy/" + spec.Key())
+	d := &Deployment{Spec: spec}
+
+	nDoorways := scaleCount(spec.Doorways, scale)
+	for i := 0; i < nDoorways; i++ {
+		d.Doorways = append(d.Doorways, &Doorway{
+			ID:       fmt.Sprintf("%s-d%04d", spec.Key(), i),
+			Domain:   doorwayDomain(cr, used),
+			Campaign: spec,
+			Vertical: spec.Verticals[i%len(spec.Verticals)],
+		})
+	}
+
+	nStores := scaleCount(spec.Stores, scale)
+	scripted := scriptedStores(spec)
+	for i := 0; i < nStores || i < len(scripted); i++ {
+		var sd *StoreDeployment
+		if i < len(scripted) {
+			sd = scripted[i]
+		} else {
+			v := spec.Verticals[i%len(spec.Verticals)]
+			memberBrands := v.MemberBrands()
+			sd = &StoreDeployment{
+				Campaign: spec,
+				Vertical: v,
+				Brand:    memberBrands[i%len(memberBrands)],
+				Locale:   pickLocale(cr, i),
+			}
+		}
+		sd.ID = fmt.Sprintf("%s-s%03d", spec.Key(), i)
+		sd.Campaign = spec
+		if len(sd.Domains) == 0 {
+			for j := 0; j < backupDomains; j++ {
+				sd.Domains = append(sd.Domains, storeDomain(cr, sd.Brand, used))
+			}
+		} else {
+			// Scripted domain lists name the domains the paper observed in
+			// its case-study window; the store's earlier life runs on
+			// generated domains, and a generated tail guards exhaustion.
+			scriptedDoms := sd.Domains
+			for _, dom := range scriptedDoms {
+				used[dom] = true
+			}
+			lead := scriptedLead(spec)
+			sd.Domains = nil
+			for j := 0; j < lead; j++ {
+				sd.Domains = append(sd.Domains, storeDomain(cr, sd.Brand, used))
+			}
+			sd.Domains = append(sd.Domains, scriptedDoms...)
+			for len(sd.Domains) < lead+len(scriptedDoms)+2 {
+				sd.Domains = append(sd.Domains, storeDomain(cr, sd.Brand, used))
+			}
+		}
+		d.Stores = append(d.Stores, sd)
+	}
+	return d
+}
+
+// pickLocale localises roughly a fifth of stores for international markets,
+// mirroring the paper's observation of UK/DE/JP variants.
+func pickLocale(r *rng.Source, i int) string {
+	if i%5 != 4 {
+		return ""
+	}
+	return rng.Pick(r, []string{"uk", "de", "jp", "it", "fr", "au"})
+}
+
+// scriptedLead is how many generated domains a scripted store burns before
+// reaching the domains the paper observed. The BIGLOVE coco*.com rotation
+// was watched June-August 2014, late in the store's life.
+func scriptedLead(spec *Spec) int {
+	if spec.Name == "BIGLOVE" {
+		return 3
+	}
+	return 0
+}
+
+// scriptedStores returns the stores whose identities the paper pins down,
+// so the case-study experiments can reference them regardless of scale.
+func scriptedStores(spec *Spec) []*StoreDeployment {
+	switch spec.Name {
+	case "BIGLOVE":
+		// §5.2.3: the counterfeit Chanel store rotating across three
+		// coco*.com domains, observed within Louis Vuitton search results.
+		return []*StoreDeployment{{
+			Vertical: brands.LouisVuitton,
+			Brand:    "Chanel",
+			Domains: []string{
+				"cocoviphandbags.com", "cocovipbags.com", "cocolovebags.com",
+			},
+		}}
+	case "PHP?P=":
+		// Figure 6: four international stores; the Abercrombie UK domain
+		// is seized on 2014-02-09 and doorways re-point within a day.
+		return []*StoreDeployment{
+			{Vertical: brands.Abercrombie, Brand: "Abercrombie", Locale: "uk"},
+			{Vertical: brands.Abercrombie, Brand: "Abercrombie", Locale: "de"},
+			{Vertical: brands.Abercrombie, Brand: "Hollister", Locale: "uk"},
+			{Vertical: brands.Woolrich, Brand: "Woolrich", Locale: "de"},
+		}
+	}
+	return nil
+}
+
+// DeployAll materialises the whole roster with a shared domain namespace.
+func DeployAll(r *rng.Source, specs []*Spec, scale float64) []*Deployment {
+	used := make(map[string]bool)
+	out := make([]*Deployment, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, Deploy(r, s, scale, used))
+	}
+	return out
+}

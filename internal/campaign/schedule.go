@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"math"
+
+	"repro/internal/brands"
+	"repro/internal/simclock"
+)
+
+// Intensity returns the campaign's SEO pressure for a vertical on a study
+// day, in [0, 1]. One unit means the campaign is at full strength: its
+// doorways hold as many result slots as the SERP model allows it.
+//
+// The shape encodes the paper's observations: campaigns run a baseline
+// presence across their active window, a pronounced peak lasting PeakDays
+// (Table 2's "peak range"), ramps on either side of the peak, and a
+// collapse to a residue after a mass demotion (the KEY event).
+func (s *Spec) Intensity(v brands.Vertical, d simclock.Day) float64 {
+	if !s.Targets(v) {
+		return 0
+	}
+	if d < s.ActiveFrom {
+		return 0
+	}
+	if s.ActiveTo != 0 && d > s.ActiveTo {
+		return 0
+	}
+	base := 0.18 * s.verticalWeight(v)
+	peak := 1.0 * s.verticalWeight(v)
+
+	level := base
+	ps, pe := s.PeakFrom, s.PeakFrom+simclock.Day(s.PeakDays)
+	const ramp = 10 // days of ramp on either side of the peak
+	switch {
+	case d >= ps && d < pe:
+		level = peak
+	case d >= ps-ramp && d < ps:
+		frac := float64(d-(ps-ramp)) / ramp
+		level = base + (peak-base)*frac
+	case d >= pe && d < pe+ramp:
+		frac := float64(d-pe) / ramp
+		level = peak - (peak-base)*frac
+	}
+	// Mild deterministic seasonality so series are not flat lines.
+	level *= 1 + 0.12*math.Sin(float64(d)/9+float64(len(s.Name)))
+	if s.DemotedOn != 0 && d >= s.DemotedOn {
+		// Mass demotion: the campaign retains only a residue of its
+		// placements (§5.2.1's KEY collapse).
+		level *= 0.05
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return level
+}
+
+// Targets reports whether the campaign targets the vertical.
+func (s *Spec) Targets(v brands.Vertical) bool {
+	for _, t := range s.Verticals {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
+
+// verticalWeight spreads a campaign's effort across its verticals, with
+// earlier-listed verticals (its flagship markets) receiving more of it.
+func (s *Spec) verticalWeight(v brands.Vertical) float64 {
+	for i, t := range s.Verticals {
+		if t == v {
+			return math.Pow(0.82, float64(i))
+		}
+	}
+	return 0
+}
+
+// Top10Suppressed reports whether, on day d, the campaign's results are
+// being demoted out of the top 10 while remaining in the top 100 (the
+// MOONKIS pattern of §5.2.1).
+func (s *Spec) Top10Suppressed(d simclock.Day) bool {
+	return s.Top10SuppressedFrom != 0 &&
+		d >= s.Top10SuppressedFrom && d <= s.Top10SuppressedTo
+}
+
+// OrdersHalted reports whether the campaign's stores have stopped
+// processing orders on day d. The paper observed KEY's stores stop
+// processing shortly after its PSR collapse.
+func (s *Spec) OrdersHalted(d simclock.Day) bool {
+	return s.DemotedOn != 0 && d >= s.DemotedOn+14
+}

@@ -1,0 +1,431 @@
+// Package classify implements the §4.2 campaign-identification pipeline: a
+// bag-of-words model over HTML tag–attribute–value triplets, multiclass
+// L1-regularised logistic regression (one-vs-rest, trained with proximal
+// gradient descent — the same model family the paper fits with LIBLINEAR),
+// k-fold cross-validation, and the iterative label-refinement loop that
+// grows the training set from high-confidence predictions verified against
+// an oracle.
+package classify
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Doc is one training or evaluation document: its extracted features and
+// (for labeled docs) its campaign label.
+type Doc struct {
+	Features []string
+	Label    string
+}
+
+// Options configures training.
+type Options struct {
+	// Lambda is the regularisation strength.
+	Lambda float64
+	// Reg selects the penalty: L1 (sparse, interpretable — the paper's
+	// choice), L2, or none (the abl-l1 ablation).
+	Reg Regularizer
+	// LearningRate and Epochs drive the proximal gradient loop.
+	LearningRate float64
+	Epochs       int
+	// Workers bounds the per-class training parallelism (0 = serial).
+	Workers int
+}
+
+// Regularizer selects the penalty.
+type Regularizer int
+
+// Supported penalties.
+const (
+	L1 Regularizer = iota
+	L2
+	NoReg
+)
+
+// String implements fmt.Stringer.
+func (r Regularizer) String() string {
+	switch r {
+	case L1:
+		return "l1"
+	case L2:
+		return "l2"
+	default:
+		return "none"
+	}
+}
+
+// DefaultOptions returns the study configuration.
+func DefaultOptions() Options {
+	return Options{Lambda: 0.004, Reg: L1, LearningRate: 0.6, Epochs: 60, Workers: 8}
+}
+
+// Vocab maps feature strings to dense indices.
+type Vocab struct {
+	index map[string]int
+	terms []string
+}
+
+// BuildVocab collects the union of features across docs.
+func BuildVocab(docs []Doc) *Vocab {
+	v := &Vocab{index: make(map[string]int)}
+	for _, d := range docs {
+		for _, f := range d.Features {
+			if _, ok := v.index[f]; !ok {
+				v.index[f] = len(v.terms)
+				v.terms = append(v.terms, f)
+			}
+		}
+	}
+	return v
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.terms) }
+
+// Term returns the feature string at index i.
+func (v *Vocab) Term(i int) string { return v.terms[i] }
+
+// vector converts features into sorted unique indices (binary bag of
+// words); unknown features are dropped.
+func (v *Vocab) vector(features []string) []int {
+	seen := make(map[int]struct{}, len(features))
+	for _, f := range features {
+		if idx, ok := v.index[f]; ok {
+			seen[idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for idx := range seen {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Model is a trained one-vs-rest multiclass classifier.
+type Model struct {
+	Classes []string
+	Vocab   *Vocab
+	weights [][]float64 // per class, len == Vocab.Size()
+	bias    []float64
+}
+
+// Train fits the model on labeled docs.
+func Train(docs []Doc, opts Options) *Model {
+	classSet := make(map[string]struct{})
+	for _, d := range docs {
+		classSet[d.Label] = struct{}{}
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	vocab := BuildVocab(docs)
+	X := make([][]int, len(docs))
+	for i, d := range docs {
+		X[i] = vocab.vector(d.Features)
+	}
+	m := &Model{
+		Classes: classes,
+		Vocab:   vocab,
+		weights: make([][]float64, len(classes)),
+		bias:    make([]float64, len(classes)),
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ci, class := range classes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int, class string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			y := make([]float64, len(docs))
+			for i, d := range docs {
+				if d.Label == class {
+					y[i] = 1
+				}
+			}
+			w, b := trainBinary(X, y, vocab.Size(), opts)
+			m.weights[ci] = w
+			m.bias[ci] = b
+		}(ci, class)
+	}
+	wg.Wait()
+	return m
+}
+
+// trainBinary fits one binary logistic regression with full-batch proximal
+// gradient descent (ISTA for L1). Positive examples are up-weighted to
+// balance the heavy negative skew each one-vs-rest subproblem has with 52
+// classes.
+func trainBinary(X [][]int, y []float64, dim int, opts Options) ([]float64, float64) {
+	w := make([]float64, dim)
+	var b float64
+	n := float64(len(X))
+	if n == 0 {
+		return w, b
+	}
+	var npos float64
+	for _, v := range y {
+		npos += v
+	}
+	posWeight := 1.0
+	if npos > 0 {
+		posWeight = (n - npos) / npos
+		if posWeight > 60 {
+			posWeight = 60
+		}
+		if posWeight < 1 {
+			posWeight = 1
+		}
+	}
+	grad := make([]float64, dim)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		var gradB float64
+		for i, xi := range X {
+			z := b
+			for _, j := range xi {
+				z += w[j]
+			}
+			p := sigmoid(z)
+			g := p - y[i]
+			if y[i] > 0 {
+				g *= posWeight
+			}
+			for _, j := range xi {
+				grad[j] += g
+			}
+			gradB += g
+		}
+		lr := opts.LearningRate / (1 + 0.03*float64(epoch))
+		for j := range w {
+			if grad[j] != 0 {
+				w[j] -= lr * grad[j] / n
+			}
+			switch opts.Reg {
+			case L1:
+				// Soft threshold (proximal step for the L1 penalty).
+				t := lr * opts.Lambda
+				switch {
+				case w[j] > t:
+					w[j] -= t
+				case w[j] < -t:
+					w[j] += t
+				default:
+					w[j] = 0
+				}
+			case L2:
+				w[j] *= 1 - lr*opts.Lambda
+			}
+		}
+		b -= lr * gradB / n
+	}
+	return w, b
+}
+
+func sigmoid(z float64) float64 {
+	if z < -35 {
+		return 0
+	}
+	if z > 35 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Prediction is a scored class assignment.
+type Prediction struct {
+	Label string
+	Prob  float64
+}
+
+// Predict returns the most likely campaign for a document's features,
+// with the (one-vs-rest, renormalised) probability attached.
+func (m *Model) Predict(features []string) Prediction {
+	xi := m.Vocab.vector(features)
+	best, bestScore := "", math.Inf(-1)
+	var total float64
+	probs := make([]float64, len(m.Classes))
+	for ci := range m.Classes {
+		z := m.bias[ci]
+		w := m.weights[ci]
+		for _, j := range xi {
+			z += w[j]
+		}
+		p := sigmoid(z)
+		probs[ci] = p
+		total += p
+		if p > bestScore {
+			bestScore = p
+			best = m.Classes[ci]
+		}
+	}
+	conf := bestScore
+	if total > 0 {
+		conf = bestScore / total
+	}
+	return Prediction{Label: best, Prob: conf}
+}
+
+// Sparsity reports the nonzero and total weight counts — the
+// interpretability property the paper uses L1 for.
+func (m *Model) Sparsity() (nonzero, total int) {
+	for _, w := range m.weights {
+		for _, x := range w {
+			if x != 0 {
+				nonzero++
+			}
+			total++
+		}
+	}
+	return nonzero, total
+}
+
+// TopFeatures returns the k most strongly weighted features for a class —
+// the campaign's learned signature.
+func (m *Model) TopFeatures(class string, k int) []string {
+	ci := -1
+	for i, c := range m.Classes {
+		if c == class {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return nil
+	}
+	type fw struct {
+		j int
+		w float64
+	}
+	var all []fw
+	for j, w := range m.weights[ci] {
+		if w > 0 {
+			all = append(all, fw{j, w})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].w != all[b].w {
+			return all[a].w > all[b].w
+		}
+		return all[a].j < all[b].j
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = m.Vocab.Term(all[i].j)
+	}
+	return out
+}
+
+// CrossValidate runs k-fold cross-validation and returns mean held-out
+// accuracy. Folds are assigned round-robin after a deterministic ordering,
+// matching the paper's 10-fold protocol.
+func CrossValidate(docs []Doc, k int, opts Options) float64 {
+	if k < 2 || len(docs) < k {
+		return 0
+	}
+	var correct, totalN int
+	for fold := 0; fold < k; fold++ {
+		var train, test []Doc
+		for i, d := range docs {
+			if i%k == fold {
+				test = append(test, d)
+			} else {
+				train = append(train, d)
+			}
+		}
+		m := Train(train, opts)
+		for _, d := range test {
+			if m.Predict(d.Features).Label == d.Label {
+				correct++
+			}
+			totalN++
+		}
+	}
+	return float64(correct) / float64(totalN)
+}
+
+// RefineResult summarises one round of the §4.2.3 human-machine loop.
+type RefineResult struct {
+	Round     int
+	Labeled   int // training-set size after the round
+	Accepted  int // verified predictions promoted to labels
+	Rejected  int // high-confidence predictions the oracle rejected
+	CVAcc     float64
+	ClassesIn int
+}
+
+// Refine grows a labeled seed set by classifying unlabeled docs, taking the
+// topK most confident predictions per round, and asking the verify oracle
+// (standing in for the analyst checking shared infrastructure) whether each
+// predicted label is right. Verified docs join the training set; the model
+// is retrained each round.
+func Refine(seed []Doc, unlabeled []Doc, verify func(docIdx int, predicted string) bool,
+	rounds, topK int, opts Options) (*Model, []RefineResult) {
+
+	labeled := append([]Doc(nil), seed...)
+	taken := make([]bool, len(unlabeled))
+	var history []RefineResult
+	var model *Model
+	for round := 0; round < rounds; round++ {
+		model = Train(labeled, opts)
+		type cand struct {
+			idx  int
+			pred Prediction
+		}
+		var cands []cand
+		for i, d := range unlabeled {
+			if taken[i] {
+				continue
+			}
+			cands = append(cands, cand{i, model.Predict(d.Features)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].pred.Prob != cands[b].pred.Prob {
+				return cands[a].pred.Prob > cands[b].pred.Prob
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		if topK < len(cands) {
+			cands = cands[:topK]
+		}
+		res := RefineResult{Round: round}
+		for _, c := range cands {
+			taken[c.idx] = true
+			if verify(c.idx, c.pred.Label) {
+				labeled = append(labeled, Doc{
+					Features: unlabeled[c.idx].Features,
+					Label:    c.pred.Label,
+				})
+				res.Accepted++
+			} else {
+				res.Rejected++
+			}
+		}
+		res.Labeled = len(labeled)
+		classSet := map[string]struct{}{}
+		for _, d := range labeled {
+			classSet[d.Label] = struct{}{}
+		}
+		res.ClassesIn = len(classSet)
+		history = append(history, res)
+		if res.Accepted == 0 && res.Rejected == 0 {
+			break
+		}
+	}
+	model = Train(labeled, opts)
+	return model, history
+}

@@ -1,0 +1,5 @@
+package classify
+
+import "repro/internal/htmlparse"
+
+func tripletsHelper(page string) []string { return htmlparse.Triplets(page) }

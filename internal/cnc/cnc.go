@@ -1,0 +1,204 @@
+// Package cnc models SEO campaigns' command-and-control infrastructure and
+// the study's infiltration of it (§3.1.2): each campaign's doorway kit
+// polls a C&C host for its directive — the roster of storefronts to
+// forward traffic to, per vertical, with backups. By fetching the same
+// directive the kits fetch, the study enumerated campaign storefronts
+// independently of the crawl ("a single SEO campaign may shill for over
+// ninety distinct storefronts selling thirty distinct brands").
+//
+// Directives are served in the kits' idiosyncratic line format and parsed
+// back, so infiltration exercises a real scrape-and-parse path.
+package cnc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+	"repro/internal/store"
+)
+
+// Directive is a campaign's current storefront roster as served by its C&C.
+type Directive struct {
+	CampaignKey string
+	Entries     []Entry
+}
+
+// Entry is one storefront assignment.
+type Entry struct {
+	Vertical string // vertical name the doorways rank for
+	Brand    string
+	Domain   string // current storefront domain
+	Backup   int    // number of backup domains still unused
+}
+
+// Site serves a campaign's directive at /gate.php?auth=<token>, the kind of
+// lightly protected endpoint the paper's infiltration relied on.
+type Site struct {
+	Spec   *campaign.Spec
+	Stores []*store.Store
+	// Token guards the gate; kits embed it in their source, which is how
+	// the study obtained it.
+	Token string
+}
+
+// NewSite builds a C&C site for a campaign over its store fleet.
+func NewSite(spec *campaign.Spec, stores []*store.Store) *Site {
+	return &Site{Spec: spec, Stores: stores, Token: GateToken(spec.Key())}
+}
+
+// GateToken derives the campaign's (weak) gate credential, recoverable from
+// kit source code.
+func GateToken(campaignKey string) string {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(campaignKey); i++ {
+		h ^= uint64(campaignKey[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("k%012x", h>>16)
+}
+
+// Serve implements simweb.Site.
+func (s *Site) Serve(req simweb.Request) simweb.Response {
+	if !strings.Contains(req.URL, "/gate.php") {
+		// The C&C host looks like a parked page to casual visitors.
+		return simweb.Response{Status: 200,
+			Body: "<html><head><title>It works!</title></head><body><h1>It works!</h1></body></html>"}
+	}
+	if !strings.Contains(req.URL, "auth="+s.Token) {
+		return simweb.Response{Status: 403, Body: "denied"}
+	}
+	return simweb.Response{Status: 200, Body: s.render(req.Day)}
+}
+
+// render emits the directive in the kit line format:
+//
+//	#campaign <key>
+//	store|<vertical>|<brand>|<domain>|<backups>
+func (s *Site) render(d simclock.Day) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#campaign %s\n", s.Spec.Key())
+	entries := s.directive(d)
+	for _, e := range entries {
+		fmt.Fprintf(&b, "store|%s|%s|%s|%d\n", e.Vertical, e.Brand, e.Domain, e.Backup)
+	}
+	fmt.Fprintf(&b, "#eof %d\n", len(entries))
+	return b.String()
+}
+
+// directive computes the live roster on a day.
+func (s *Site) directive(d simclock.Day) []Entry {
+	var out []Entry
+	for _, st := range s.Stores {
+		if st.Dark(d) {
+			continue
+		}
+		cur := st.CurrentDomain(d)
+		if st.SeizedBy(cur, d) {
+			continue
+		}
+		var backups int
+		idx := -1
+		for i, dom := range st.Dep.Domains {
+			if dom == cur {
+				idx = i
+			}
+		}
+		for j := idx + 1; j >= 0 && j < len(st.Dep.Domains); j++ {
+			if !st.SeizedBy(st.Dep.Domains[j], d) {
+				backups++
+			}
+		}
+		out = append(out, Entry{
+			Vertical: st.Dep.Vertical.String(),
+			Brand:    st.Dep.Brand,
+			Domain:   cur,
+			Backup:   backups,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// Domain returns the campaign's C&C hostname.
+func Domain(campaignKey string) string {
+	slug := strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return -1
+	}, campaignKey)
+	return "cc-" + slug + "-sync.net"
+}
+
+// Infiltrate fetches and parses a campaign's directive, the §3.1.2
+// technique. It fails if the gate refuses or the payload is malformed.
+func Infiltrate(f simweb.Fetcher, campaignKey string, d simclock.Day) (*Directive, error) {
+	u := fmt.Sprintf("http://%s/gate.php?auth=%s", Domain(campaignKey), GateToken(campaignKey))
+	resp := f.Fetch(simweb.Request{URL: u, UserAgent: simweb.BrowserUA, Day: d})
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("cnc: gate returned %d for %s", resp.Status, campaignKey)
+	}
+	return Parse(resp.Body)
+}
+
+// Parse decodes the kit line format.
+func Parse(body string) (*Directive, error) {
+	dir := &Directive{}
+	var declared = -1
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#campaign "):
+			dir.CampaignKey = strings.TrimPrefix(line, "#campaign ")
+		case strings.HasPrefix(line, "#eof "):
+			fmt.Sscanf(line, "#eof %d", &declared)
+		case strings.HasPrefix(line, "store|"):
+			parts := strings.Split(line, "|")
+			if len(parts) != 5 {
+				return nil, fmt.Errorf("cnc: malformed entry %q", line)
+			}
+			var backup int
+			fmt.Sscanf(parts[4], "%d", &backup)
+			dir.Entries = append(dir.Entries, Entry{
+				Vertical: parts[1], Brand: parts[2], Domain: parts[3], Backup: backup,
+			})
+		default:
+			return nil, fmt.Errorf("cnc: unrecognised line %q", line)
+		}
+	}
+	if dir.CampaignKey == "" {
+		return nil, fmt.Errorf("cnc: missing campaign header")
+	}
+	if declared >= 0 && declared != len(dir.Entries) {
+		return nil, fmt.Errorf("cnc: truncated directive: %d of %d entries", len(dir.Entries), declared)
+	}
+	return dir, nil
+}
+
+// Brands returns the distinct brands in the directive.
+func (d *Directive) Brands() []string {
+	set := map[string]bool{}
+	for _, e := range d.Entries {
+		set[e.Brand] = true
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Domains returns the storefront domains in the directive.
+func (d *Directive) Domains() []string {
+	out := make([]string, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		out = append(out, e.Domain)
+	}
+	return out
+}

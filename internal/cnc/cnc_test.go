@@ -1,0 +1,152 @@
+package cnc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+	"repro/internal/store"
+)
+
+func fixture(t *testing.T) (*simweb.Web, *campaign.Spec, []*store.Store) {
+	t.Helper()
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(rng.New(81), specs, 0.05)
+	var dep *campaign.Deployment
+	for _, d := range deps {
+		if d.Spec.Name == "BIGLOVE" {
+			dep = d
+		}
+	}
+	var stores []*store.Store
+	r := rng.New(82)
+	for _, sd := range dep.Stores {
+		stores = append(stores, store.New(sd, r, 245))
+	}
+	web := simweb.NewWeb()
+	web.Register(Domain(dep.Spec.Key()), NewSite(dep.Spec, stores))
+	return web, dep.Spec, stores
+}
+
+func TestInfiltrationEnumeratesStores(t *testing.T) {
+	web, spec, stores := fixture(t)
+	dir, err := Infiltrate(web, spec.Key(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.CampaignKey != spec.Key() {
+		t.Fatalf("campaign = %q", dir.CampaignKey)
+	}
+	if len(dir.Entries) != len(stores) {
+		t.Fatalf("entries = %d, want %d", len(dir.Entries), len(stores))
+	}
+	// Directive domains must be each store's current domain.
+	want := map[string]bool{}
+	for _, st := range stores {
+		want[st.CurrentDomain(10)] = true
+	}
+	for _, dom := range dir.Domains() {
+		if !want[dom] {
+			t.Fatalf("directive lists unknown domain %s", dom)
+		}
+	}
+	if len(dir.Brands()) == 0 {
+		t.Fatal("no brands in directive")
+	}
+}
+
+func TestGateRefusesWithoutToken(t *testing.T) {
+	web, spec, _ := fixture(t)
+	resp := web.Fetch(simweb.Request{
+		URL: "http://" + Domain(spec.Key()) + "/gate.php?auth=wrong"})
+	if resp.Status != 403 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	// Casual visitors see a parked page.
+	front := web.Fetch(simweb.Request{URL: "http://" + Domain(spec.Key()) + "/"})
+	if front.Status != 200 || !strings.Contains(front.Body, "It works!") {
+		t.Fatal("C&C host must look parked")
+	}
+}
+
+func TestDirectiveTracksSeizuresAndRotation(t *testing.T) {
+	web, spec, stores := fixture(t)
+	st := stores[0]
+	dom0 := st.CurrentDomain(0)
+	st.MarkSeized(dom0, 20)
+
+	// Before reaction: the seized store drops out of the directive.
+	dir, err := Infiltrate(web, spec.Key(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dir.Domains() {
+		if d == dom0 {
+			t.Fatal("seized domain still in directive")
+		}
+	}
+	// After the campaign re-points: the backup appears.
+	next := st.MoveToNextDomain(25)
+	dir2, err := Infiltrate(web, spec.Key(), 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range dir2.Domains() {
+		if d == next {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backup %s missing from directive", next)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"store|a|b|c|1\n",                      // missing header
+		"#campaign x\nstore|a|b\n",             // malformed entry
+		"#campaign x\ngarbage line\n",          // unknown line
+		"#campaign x\nstore|a|b|c|1\n#eof 5\n", // truncated
+	}
+	for i, body := range cases {
+		if _, err := Parse(body); err == nil {
+			t.Errorf("case %d parsed unexpectedly", i)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	web, spec, _ := fixture(t)
+	resp := web.Fetch(simweb.Request{
+		URL: "http://" + Domain(spec.Key()) + "/gate.php?auth=" + GateToken(spec.Key())})
+	dir, err := Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.CampaignKey != spec.Key() {
+		t.Fatal("round trip lost campaign key")
+	}
+}
+
+func TestInfiltrateUnknownCampaign(t *testing.T) {
+	web, _, _ := fixture(t)
+	if _, err := Infiltrate(web, "nosuch", 0); err == nil {
+		t.Fatal("unknown C&C must fail")
+	}
+}
+
+func TestTokenStablePerCampaign(t *testing.T) {
+	if GateToken("key") != GateToken("key") {
+		t.Fatal("token unstable")
+	}
+	if GateToken("key") == GateToken("biglove") {
+		t.Fatal("tokens must differ per campaign")
+	}
+	if Domain("php?p=") != "cc-phpp-sync.net" {
+		t.Fatalf("domain = %q", Domain("php?p="))
+	}
+}

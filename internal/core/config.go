@@ -1,0 +1,98 @@
+// Package core is the study driver: it assembles the synthetic world
+// (campaign infrastructure, web, search engine, interventions, demand),
+// runs it day by day while the measurement pipeline — crawler, classifier,
+// purchase-pair sampler — observes it, and produces the longitudinal
+// dataset every table and figure of the paper is computed from.
+package core
+
+import (
+	"repro/internal/simclock"
+)
+
+// Config sizes and seeds a study. The zero value is not useful; start from
+// DefaultConfig or TestConfig.
+type Config struct {
+	// Seed drives every random choice; a given (Seed, Config) reproduces
+	// the entire study bit-for-bit.
+	Seed uint64
+	// Scale multiplies infrastructure sizes (doorways, stores, supplier
+	// records). 1.0 is paper scale.
+	Scale float64
+	// TermsPerVertical and SlotsPerTerm size the crawl (paper: 100 × 100).
+	TermsPerVertical int
+	SlotsPerTerm     int
+	// TailCampaigns is how many unlabeled long-tail campaigns operate
+	// alongside the 52 classified ones.
+	TailCampaigns int
+	// SampleStoresPerCampaign bounds purchase-pair targets per campaign.
+	SampleStoresPerCampaign int
+	// SeedDocsTarget is the hand-labeled corpus size for classifier
+	// training (paper: 491).
+	SeedDocsTarget int
+	// UnknownThreshold is the classifier confidence below which a store is
+	// left unattributed.
+	UnknownThreshold float64
+	// CrawlRecheckDays controls how often poisoned domains are re-verified.
+	CrawlRecheckDays int
+	// CrawlWorkers bounds crawl parallelism.
+	CrawlWorkers int
+	// VanGogh and RenderOnDagger toggle the rendering crawlers (ablations).
+	VanGogh        bool
+	RenderOnDagger bool
+	// SupplierRecords sizes the §4.5 shipment dataset before Scale.
+	SupplierRecords int
+	// ExtendedTail runs the simulation past the crawl window through
+	// August 2014 so the Figure 5 case study has data.
+	ExtendedTail bool
+	// ReactiveSeizures swaps the firms' bulk periodic sweeps for small
+	// frequent reactive filings (the abl-reactive ablation).
+	ReactiveSeizures bool
+	// BreakBank, if set, disables the named acquiring bank on BreakBankDay
+	// — the payment-level intervention the paper flags as promising future
+	// work (§4.3.2).
+	BreakBank    string
+	BreakBankDay int
+}
+
+// DefaultConfig is the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                    1,
+		Scale:                   1.0,
+		TermsPerVertical:        100,
+		SlotsPerTerm:            100,
+		TailCampaigns:           34,
+		SampleStoresPerCampaign: 3,
+		SeedDocsTarget:          491,
+		UnknownThreshold:        0.42,
+		CrawlRecheckDays:        4,
+		CrawlWorkers:            8,
+		VanGogh:                 true,
+		RenderOnDagger:          true,
+		SupplierRecords:         279000,
+		ExtendedTail:            true,
+	}
+}
+
+// TestConfig is a miniature world for unit and integration tests: the same
+// moving parts at a fraction of the size.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.TermsPerVertical = 6
+	cfg.SlotsPerTerm = 30
+	cfg.TailCampaigns = 10
+	cfg.SeedDocsTarget = 200
+	cfg.SupplierRecords = 3000
+	return cfg
+}
+
+// Windows returns the crawl window and the simulation window (which may
+// extend past the crawl for the Figure 5 tail).
+func (c Config) Windows() (study, sim simclock.Window) {
+	study = simclock.StudyWindow()
+	if c.ExtendedTail {
+		return study, simclock.ExtendedWindow()
+	}
+	return study, study
+}

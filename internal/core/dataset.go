@@ -1,0 +1,258 @@
+package core
+
+import (
+	"repro/internal/brands"
+	"repro/internal/campaign"
+	"repro/internal/intervention"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// Unknown is the attribution bucket for PSRs whose storefront the
+// classifier could not confidently assign to a known campaign.
+const Unknown = "unknown"
+
+// VerticalObs accumulates one vertical's daily observations.
+type VerticalObs struct {
+	Vertical brands.Vertical
+	// Percent-of-slots series over the simulation window.
+	Top10PoisonedPct  metrics.Series
+	Top100PoisonedPct metrics.Series
+	PenalizedPct      metrics.Series // labeled or seized share of all slots
+	// Attributed stacks the share of slots per campaign name (+ Unknown).
+	Attributed *metrics.Stacked
+	// Study-window cumulative counts (Table 1).
+	PSRObservations int64
+	DoorwaysSeen    map[string]bool
+	StoresSeen      map[string]bool
+	CampaignsSeen   map[string]bool
+	// Label-policy accounting (§5.2.2): LabeledObservations counts PSRs
+	// actually carrying the hacked label; LabelEligible counts PSRs whose
+	// doorway domain was labeled — the coverage a full-URL (rather than
+	// root-only) policy would have achieved.
+	LabeledObservations int64
+	LabelEligible       int64
+}
+
+// CampaignObs accumulates one named campaign's observations across
+// verticals, keyed by the classifier's attribution.
+type CampaignObs struct {
+	Name        string
+	PSRTop100   metrics.Series
+	PSRTop10    metrics.Series
+	LabeledPSRs metrics.Series
+	Doorways    map[string]bool
+	StoresSeen  map[string]bool
+	Verticals   map[brands.Vertical]bool
+}
+
+// ObservedSeizure is a seizure visible through the crawled data.
+type ObservedSeizure struct {
+	Domain  string
+	Day     simclock.Day
+	CaseID  string
+	FirmKey string
+	StoreID string
+	// SeenInPSRs marks seizures of store domains our crawl had observed —
+	// the subset Table 3 reports as "# Stores".
+	SeenInPSRs bool
+}
+
+// Reaction is a campaign re-pointing a store to a backup domain.
+type Reaction struct {
+	StoreID   string
+	Day       simclock.Day
+	NewDomain string
+}
+
+// Dataset is everything the experiments consume.
+type Dataset struct {
+	StudyDays int
+	SimDays   int
+
+	Verticals map[brands.Vertical]*VerticalObs
+	Campaigns map[string]*CampaignObs
+
+	ChurnNew   metrics.Series
+	ChurnTotal metrics.Series
+
+	Seizures  []ObservedSeizure
+	Reactions []Reaction
+
+	// StoreFirstSeen is the day each store domain first appeared behind a
+	// PSR; DoorFirstSeen likewise for doorway domains.
+	StoreFirstSeen map[string]simclock.Day
+	DoorFirstSeen  map[string]simclock.Day
+	// DoorLabeledOn is filled at finalize from the search engine.
+	DoorLabeledOn map[string]simclock.Day
+
+	// SampledOrders holds the purchase-pair series per store id (filled
+	// from the sampler at finalize).
+	SampledOrders map[string]*OrderSeries
+
+	// WatchedPSRs tracks daily PSR counts per case-study store (the coco
+	// and PHP?P= stores of Figures 5 and 6), keyed by store id.
+	WatchedPSRs map[string]*WatchedStore
+
+	world *World
+}
+
+// WatchedStore holds the per-day PSR visibility of a case-study store.
+type WatchedStore struct {
+	StoreID string
+	Top100  metrics.Series
+	Top10   metrics.Series
+}
+
+// OrderSeries pairs a store's purchase-pair estimates with ground truth.
+type OrderSeries struct {
+	StoreID    string
+	Rates      metrics.Series
+	Volume     metrics.Series
+	TotalDelta int64
+}
+
+// NewDataset allocates observation storage for a world.
+func NewDataset(w *World) *Dataset {
+	d := &Dataset{
+		StudyDays:      w.Study.Days(),
+		SimDays:        w.Sim.Days(),
+		Verticals:      make(map[brands.Vertical]*VerticalObs),
+		Campaigns:      make(map[string]*CampaignObs),
+		ChurnNew:       metrics.NewSeries(w.Sim.Days()),
+		ChurnTotal:     metrics.NewSeries(w.Sim.Days()),
+		StoreFirstSeen: make(map[string]simclock.Day),
+		DoorFirstSeen:  make(map[string]simclock.Day),
+		DoorLabeledOn:  make(map[string]simclock.Day),
+		SampledOrders:  make(map[string]*OrderSeries),
+		WatchedPSRs:    make(map[string]*WatchedStore),
+		world:          w,
+	}
+	days := w.Sim.Days()
+	for _, v := range brands.All() {
+		d.Verticals[v] = &VerticalObs{
+			Vertical:          v,
+			Top10PoisonedPct:  metrics.NewSeries(days),
+			Top100PoisonedPct: metrics.NewSeries(days),
+			PenalizedPct:      metrics.NewSeries(days),
+			Attributed:        metrics.NewStacked(days),
+			DoorwaysSeen:      make(map[string]bool),
+			StoresSeen:        make(map[string]bool),
+			CampaignsSeen:     make(map[string]bool),
+		}
+	}
+	return d
+}
+
+// campaignObs returns (allocating) the observation bucket for a campaign
+// name.
+func (d *Dataset) campaignObs(name string) *CampaignObs {
+	c, ok := d.Campaigns[name]
+	if !ok {
+		c = &CampaignObs{
+			Name:        name,
+			PSRTop100:   metrics.NewSeries(d.SimDays),
+			PSRTop10:    metrics.NewSeries(d.SimDays),
+			LabeledPSRs: metrics.NewSeries(d.SimDays),
+			Doorways:    make(map[string]bool),
+			StoresSeen:  make(map[string]bool),
+			Verticals:   make(map[brands.Vertical]bool),
+		}
+		d.Campaigns[name] = c
+	}
+	return c
+}
+
+func (d *Dataset) recordSeizure(domain string, c *intervention.CourtCase) {
+	_, seen := d.StoreFirstSeen[domain]
+	var storeID string
+	if st, ok := d.world.storeByDom[domain]; ok {
+		storeID = st.ID()
+	}
+	d.Seizures = append(d.Seizures, ObservedSeizure{
+		Domain:  domain,
+		Day:     c.Day,
+		CaseID:  c.ID,
+		FirmKey: c.Firm.Key,
+		StoreID: storeID,
+		// The crawl observes a seizure when the store domain had been seen
+		// behind PSRs.
+		SeenInPSRs: seen,
+	})
+}
+
+func (d *Dataset) recordReaction(st *store.Store, newDomain string, day simclock.Day) {
+	d.Reactions = append(d.Reactions, Reaction{
+		StoreID: st.ID(), Day: day, NewDomain: newDomain,
+	})
+}
+
+// TotalPSRs sums the study-window PSR observations across verticals.
+func (d *Dataset) TotalPSRs() int64 {
+	var n int64
+	for _, vo := range d.Verticals {
+		n += vo.PSRObservations
+	}
+	return n
+}
+
+// TotalDoorways counts unique doorway domains seen behind PSRs.
+func (d *Dataset) TotalDoorways() int {
+	set := make(map[string]bool)
+	for _, vo := range d.Verticals {
+		for dom := range vo.DoorwaysSeen {
+			set[dom] = true
+		}
+	}
+	return len(set)
+}
+
+// TotalStores counts unique store domains seen behind PSRs.
+func (d *Dataset) TotalStores() int {
+	set := make(map[string]bool)
+	for _, vo := range d.Verticals {
+		for dom := range vo.StoresSeen {
+			set[dom] = true
+		}
+	}
+	return len(set)
+}
+
+// AttributedShare returns the fraction of PSR observations attributed to
+// named campaigns (the paper classified 58%).
+func (d *Dataset) AttributedShare() float64 {
+	var named, total float64
+	for _, vo := range d.Verticals {
+		for label, s := range vo.Attributed.Layers {
+			sum := s.Sum()
+			total += sum
+			if label != Unknown {
+				named += sum
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return named / total
+}
+
+// GroundTruthSpec resolves a campaign name to its spec (named roster plus
+// tail), for validation experiments.
+func (d *Dataset) GroundTruthSpec(name string) (*campaign.Spec, bool) {
+	for _, s := range d.world.Specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range d.world.Tail {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// World returns the generating world (experiments need its engines).
+func (d *Dataset) World() *World { return d.world }

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/brands"
+	"repro/internal/htmlparse"
+	"repro/internal/purchase"
+	"repro/internal/searchsim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+	"repro/internal/traffic"
+)
+
+// featuresOf extracts classifier features from a page.
+func featuresOf(body string) []string { return htmlparse.Triplets(body) }
+
+// Run executes the whole study: every simulation day the world advances,
+// interventions fire, demand flows, and (inside the crawl window) the
+// measurement pipeline observes it. It returns the completed dataset.
+func (w *World) Run() *Dataset {
+	for d := simclock.Day(0); int(d) < w.Sim.Days(); d++ {
+		w.RunDay(d)
+	}
+	w.Finalize()
+	return w.Data
+}
+
+// RunDay advances the world one day.
+func (w *World) RunDay(d simclock.Day) {
+	w.Engine.Advance(d)
+	w.rotateStores(d)
+	w.Seizure.Tick(d)
+
+	inStudy := int(d) < w.Study.Days()
+	for _, v := range brands.All() {
+		w.observeVertical(v, d, inStudy)
+	}
+	w.Labeler.Tick(d, w.Engine, w.Specs, w.Deps)
+	w.applyTraffic(d)
+	if inStudy {
+		w.Sampler.Visit(d, w.purchaseTargets())
+		neu, tot := w.Engine.ChurnToday()
+		w.Data.ChurnNew.Add(int(d), float64(neu))
+		w.Data.ChurnTotal.Add(int(d), float64(tot))
+	}
+}
+
+// rotateStores applies proactive domain rotation for campaigns that use it
+// (§5.2.3): during the campaign's peak, stores move to a fresh domain every
+// RotationDays.
+func (w *World) rotateStores(d simclock.Day) {
+	for _, st := range w.Stores {
+		spec := st.Dep.Campaign
+		if spec.RotationDays == 0 || d < spec.PeakFrom {
+			continue
+		}
+		epochs := st.Epochs()
+		last := epochs[len(epochs)-1].From
+		if last < spec.PeakFrom {
+			last = spec.PeakFrom
+		}
+		if int(d-last) >= spec.RotationDays && !st.Dark(d) {
+			if newDom := st.MoveToNextDomain(d); newDom != "" {
+				w.Data.recordReaction(st, newDom, d)
+			}
+		}
+	}
+}
+
+// observeVertical runs the day's crawl over one vertical's SERPs and books
+// the observations.
+func (w *World) observeVertical(v brands.Vertical, d simclock.Day, inStudy bool) {
+	vo := w.Data.Verticals[v]
+
+	// Collect the day's unique doorway-candidate domains with sample URLs.
+	urls := make(map[string]string)
+	w.Engine.EachSlot(v, func(_, _ int, s *searchsim.Slot) {
+		if _, dup := urls[s.Domain]; !dup {
+			urls[s.Domain] = s.URL
+		}
+	})
+	verdicts := w.Crawler.CheckDomains(urls, d)
+
+	var top10Poisoned, top100Poisoned, penalized, top10Slots, slots int
+	attributedToday := make(map[string]int)
+	w.Engine.EachSlot(v, func(_, rank int, s *searchsim.Slot) {
+		slots++
+		if rank < 10 {
+			top10Slots++
+		}
+		ver := verdicts[s.Domain]
+		if !ver.Cloaked {
+			return
+		}
+		top100Poisoned++
+		if rank < 10 {
+			top10Poisoned++
+		}
+		w.Labeler.Observe(s.Domain, d, s.Root)
+		if _, seen := w.Data.DoorFirstSeen[s.Domain]; !seen {
+			w.Data.DoorFirstSeen[s.Domain] = d
+		}
+
+		// Resolve and book the landing store.
+		var attribution string
+		if ver.IsStore && ver.StoreDomain != "" {
+			if _, seen := w.Data.StoreFirstSeen[ver.StoreDomain]; !seen {
+				w.Data.StoreFirstSeen[ver.StoreDomain] = d
+			}
+			if st, ok := w.storeByDom[ver.StoreDomain]; ok {
+				w.Seizure.MarkVisible(st.ID(), d)
+				if ws, watched := w.Data.WatchedPSRs[st.ID()]; watched {
+					ws.Top100.Add(int(d), 1)
+					if rank < 10 {
+						ws.Top10.Add(int(d), 1)
+					}
+				}
+			}
+			attribution = w.Attribute(ver.StoreDomain, d)
+		}
+		name := Unknown
+		if attribution != "" {
+			name = attribution
+		}
+		attributedToday[name]++
+
+		// Penalised = labeled in results, or pointing at a seized store.
+		pen := s.Labeled
+		if !pen {
+			if st, ok := w.doorTargets[doorID(w, s.Domain)]; ok && st != nil {
+				if _, gone := st.SeizedOn(st.CurrentDomain(d)); gone {
+					pen = true
+				}
+			}
+		}
+		if pen {
+			penalized++
+		}
+
+		if inStudy {
+			vo.PSRObservations++
+			vo.DoorwaysSeen[s.Domain] = true
+			if s.Labeled {
+				vo.LabeledObservations++
+			}
+			if _, hasLabel := w.Engine.LabeledOn(s.Domain); hasLabel {
+				vo.LabelEligible++
+			}
+			if ver.IsStore && ver.StoreDomain != "" {
+				vo.StoresSeen[ver.StoreDomain] = true
+			}
+			if name != Unknown {
+				vo.CampaignsSeen[name] = true
+				co := w.Data.campaignObs(name)
+				co.PSRTop100.Add(int(d), 1)
+				if rank < 10 {
+					co.PSRTop10.Add(int(d), 1)
+				}
+				if s.Labeled {
+					co.LabeledPSRs.Add(int(d), 1)
+				}
+				co.Doorways[s.Domain] = true
+				if ver.StoreDomain != "" {
+					co.StoresSeen[ver.StoreDomain] = true
+				}
+				co.Verticals[v] = true
+			}
+		}
+	})
+
+	if slots == 0 {
+		return
+	}
+	day := int(d)
+	vo.Top100PoisonedPct.Add(day, 100*float64(top100Poisoned)/float64(slots))
+	if top10Slots > 0 {
+		vo.Top10PoisonedPct.Add(day, 100*float64(top10Poisoned)/float64(top10Slots))
+	}
+	vo.PenalizedPct.Add(day, 100*float64(penalized)/float64(slots))
+	for name, n := range attributedToday {
+		vo.Attributed.Layer(name).Add(day, 100*float64(n)/float64(slots))
+	}
+}
+
+// doorID maps a doorway domain back to its deployment id.
+func doorID(w *World, domain string) string {
+	if dw, ok := w.doorByDom[domain]; ok {
+		return dw.ID
+	}
+	return ""
+}
+
+// applyTraffic routes the day's demand: query volume spread over terms,
+// position-biased clicks on results, label deterrence, doorway forwarding
+// to stores, conversion into orders.
+func (w *World) applyTraffic(d simclock.Day) {
+	tr := w.R.Sub(fmt.Sprintf("traffic/%d", d))
+	type agg struct {
+		visits float64
+		refs   map[string]int
+	}
+	perStore := make(map[*store.Store]*agg)
+	for _, v := range brands.All() {
+		volume := v.DailyQueryVolume() * w.Cfg.Scale
+		nTerms := w.Cfg.TermsPerVertical
+		w.Engine.EachSlot(v, func(termIdx, rank int, s *searchsim.Slot) {
+			if !s.Poisoned() {
+				return
+			}
+			termVol := volume * traffic.TermWeight(termIdx, nTerms)
+			clicks := w.Traffic.SlotClicks(termVol, rank, s.Labeled)
+			if clicks <= 0 {
+				return
+			}
+			st, ok := w.doorTargets[s.Doorway.ID]
+			if !ok || st == nil {
+				return
+			}
+			dom := st.CurrentDomain(d)
+			if dom == "" {
+				return
+			}
+			if _, gone := st.SeizedOn(dom); gone {
+				// Users land on the seizure notice: traffic lost.
+				return
+			}
+			a := perStore[st]
+			if a == nil {
+				a = &agg{refs: make(map[string]int)}
+				perStore[st] = a
+			}
+			a.visits += clicks
+			a.refs[s.Domain] += int(clicks * w.Traffic.ReferrerRate)
+		})
+	}
+	for st, a := range perStore {
+		visits := a.visits * (1 + w.Traffic.DirectVisitShare)
+		var orders float64
+		if !st.Dep.Campaign.OrdersHalted(d) && !st.PaymentHalted(d) {
+			orders = w.Traffic.Orders(tr, visits)
+		}
+		st.RecordDay(d, visits, w.Traffic.Pages(visits), orders, a.refs)
+	}
+}
+
+// purchaseTargets lazily builds the purchase-pair target list: up to
+// SampleStoresPerCampaign stores per named campaign (scripted case-study
+// stores first, since deployments list them first).
+func (w *World) purchaseTargets() []purchase.Target {
+	if w.targets != nil {
+		return w.targets
+	}
+	for _, dep := range w.Deps {
+		if dep.Spec.IsTail() {
+			continue
+		}
+		key := dep.Spec.Key()
+		n := w.Cfg.SampleStoresPerCampaign
+		stores := w.campStores[key]
+		if len(stores) < n {
+			n = len(stores)
+		}
+		// The PHP?P= and BIGLOVE scripted stores must all be sampled for
+		// Figures 5 and 6.
+		if dep.Spec.Name == "PHP?P=" && len(stores) >= 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			st := stores[i]
+			w.targets = append(w.targets, purchase.Target{
+				StoreID:     st.ID(),
+				CampaignKey: key,
+				Domain: func(d simclock.Day) string {
+					if st.Dark(d) {
+						return ""
+					}
+					return st.CurrentDomain(d)
+				},
+			})
+		}
+	}
+	sort.Slice(w.targets, func(i, j int) bool {
+		return w.targets[i].StoreID < w.targets[j].StoreID
+	})
+	return w.targets
+}
+
+// Finalize copies end-of-run state into the dataset: label days and
+// purchase-pair estimates.
+func (w *World) Finalize() {
+	for dom := range w.doorByDom {
+		if ld, ok := w.Engine.LabeledOn(dom); ok {
+			w.Data.DoorLabeledOn[dom] = ld
+		}
+	}
+	for id, series := range w.Sampler.AllSeries() {
+		w.Data.SampledOrders[id] = &OrderSeries{
+			StoreID:    id,
+			Rates:      series.Rates(w.Sim.Days()),
+			Volume:     series.Volume(w.Sim.Days()),
+			TotalDelta: series.TotalDelta(),
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+func TestAttributeCachesAndMatchesTruth(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	// Attribute every named campaign's first store domain; most must match
+	// ground truth (classifier accuracy), and results must be cached.
+	var right, wrong, unknown int
+	for _, dep := range w.Deps {
+		if dep.Spec.IsTail() {
+			continue
+		}
+		dom := dep.Stores[0].Domains[0]
+		got := w.Attribute(dom, 0)
+		switch got {
+		case dep.Spec.Name:
+			right++
+		case "":
+			unknown++
+		default:
+			wrong++
+		}
+		if again := w.Attribute(dom, 100); again != got {
+			t.Fatalf("attribution for %s not cached: %q then %q", dom, got, again)
+		}
+	}
+	if right <= wrong {
+		t.Fatalf("attribution right=%d wrong=%d unknown=%d", right, wrong, unknown)
+	}
+}
+
+func TestAttributeTailMostlyUnknown(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	var named, unknown int
+	for _, dep := range w.Deps {
+		if !dep.Spec.IsTail() {
+			continue
+		}
+		for _, sd := range dep.Stores {
+			if w.Attribute(sd.Domains[0], 0) == "" {
+				unknown++
+			} else {
+				named++
+			}
+		}
+	}
+	if unknown == 0 {
+		t.Fatal("no tail store left unattributed")
+	}
+	if named > unknown {
+		t.Fatalf("tail misattribution dominates: named=%d unknown=%d", named, unknown)
+	}
+}
+
+func TestAttributeDeadDomainUnknown(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	if got := w.Attribute("no-such-store.example", 0); got != "" {
+		t.Fatalf("dead domain attributed to %q", got)
+	}
+}
+
+func TestDoorwayTargetsBelongToSameCampaign(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	for _, dep := range w.Deps {
+		for _, dw := range dep.Doorways {
+			st, ok := w.DoorwayTarget(dw.ID)
+			if !ok || st == nil {
+				t.Fatalf("doorway %s has no target", dw.ID)
+			}
+			if st.Dep.Campaign.Key() != dep.Spec.Key() {
+				t.Fatalf("doorway %s forwards to foreign campaign %s",
+					dw.ID, st.Dep.Campaign.Name)
+			}
+		}
+	}
+}
+
+func TestPurchaseTargetsCoverFigureCampaigns(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	targets := w.purchaseTargets()
+	byCampaign := map[string]int{}
+	for _, tgt := range targets {
+		byCampaign[tgt.CampaignKey]++
+	}
+	for _, key := range []string{"key", "moonkis", "vera", "php?p="} {
+		if byCampaign[key] == 0 {
+			t.Fatalf("figure-4 campaign %s unsampled", key)
+		}
+	}
+	if byCampaign["php?p="] < 4 {
+		t.Fatalf("php?p= needs its four scripted stores sampled, got %d", byCampaign["php?p="])
+	}
+	for key := range byCampaign {
+		if strings.HasPrefix(key, "tail.") {
+			t.Fatal("tail campaigns must not be purchase targets")
+		}
+	}
+}
+
+func TestSupplierSiteMounted(t *testing.T) {
+	d := small(t)
+	w := d.World()
+	resp := w.Web.Fetch(simweb.Request{
+		URL: "http://" + SupplierDomain + "/", UserAgent: simweb.BrowserUA})
+	if resp.Status != 200 || !strings.Contains(resp.Body, "data-min") {
+		t.Fatalf("supplier site not serving: %d", resp.Status)
+	}
+}
+
+func TestPaymentInterventionConfig(t *testing.T) {
+	cfg := TestConfig()
+	cfg.TermsPerVertical = 3
+	cfg.SlotsPerTerm = 15
+	cfg.ExtendedTail = false
+	cfg.BreakBank = "realypay"
+	cfg.BreakBankDay = 50
+	w := NewWorld(cfg)
+	var affected int
+	for _, st := range w.Stores {
+		if st.Processor.Name == "realypay" {
+			affected++
+			if !st.PaymentHalted(simclock.Day(60)) {
+				t.Fatal("realypay store must be halted after the break day")
+			}
+			if st.PaymentHalted(simclock.Day(10)) {
+				t.Fatal("realypay store must work before the break day")
+			}
+		} else if st.PaymentHalted(simclock.Day(60)) {
+			t.Fatal("other banks' stores must be unaffected")
+		}
+	}
+	if affected == 0 {
+		t.Fatal("no store uses the broken bank")
+	}
+}
+
+func TestWatchedStoresArmed(t *testing.T) {
+	d := small(t)
+	if len(d.WatchedPSRs) < 5 {
+		t.Fatalf("watched stores = %d, want coco + 4 php?p=", len(d.WatchedPSRs))
+	}
+	w := d.World()
+	for id := range d.WatchedPSRs {
+		st, ok := w.StoreByID(id)
+		if !ok {
+			t.Fatalf("watched store %s unknown", id)
+		}
+		if !st.AWStatsPublic {
+			t.Fatalf("case-study store %s must expose AWStats", id)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package crawler
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// Crawler wraps a Detector with the §4.1.2 workload reductions: domains
+// previously seen and not detected as poisoned are not re-crawled, and
+// poisoned domains are re-verified on a short period rather than daily
+// (the paper notes its own crawler can lag campaigns' redirect changes,
+// footnote 7). A bounded worker pool fans fetches out.
+type Crawler struct {
+	Det *Detector
+	// RecheckDays is how often a poisoned domain is re-verified so that
+	// store-domain rotation is observed.
+	RecheckDays int
+	// Workers bounds concurrent fetch chains.
+	Workers int
+
+	mu    sync.Mutex
+	cache map[string]Verdict
+	// fetches counts detector invocations (for workload accounting).
+	fetches int
+}
+
+// New returns a Crawler over the given detector.
+func New(det *Detector) *Crawler {
+	return &Crawler{Det: det, RecheckDays: 4, Workers: 8,
+		cache: make(map[string]Verdict)}
+}
+
+// CheckDomain returns the verdict for a domain, fetching only when the
+// cache does not already answer: clean domains are never re-fetched,
+// poisoned domains are re-verified every RecheckDays.
+func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdict {
+	c.mu.Lock()
+	v, seen := c.cache[domain]
+	c.mu.Unlock()
+	if seen {
+		if !v.Cloaked {
+			return v
+		}
+		if int(day-v.CheckedDay) < c.RecheckDays {
+			return v
+		}
+	}
+	nv := c.Det.CheckURL(sampleURL, day)
+	c.mu.Lock()
+	c.fetches++
+	// A domain once seen cloaking stays attributed even if a later check
+	// finds it dark (e.g. its campaign stopped): keep the stronger verdict
+	// but refresh the landing store when the recheck still sees cloaking.
+	if seen && v.Cloaked && !nv.Cloaked {
+		v.CheckedDay = day
+		c.cache[domain] = v
+		c.mu.Unlock()
+		return v
+	}
+	// Indeterminate checks (transient fetch failures) are not cached:
+	// the next query retries them rather than freezing a "clean" verdict.
+	if nv.Indeterminate && !nv.Cloaked {
+		c.mu.Unlock()
+		return nv
+	}
+	c.cache[domain] = nv
+	c.mu.Unlock()
+	return nv
+}
+
+// CheckDomains fans CheckDomain over many domains with the worker pool and
+// returns the verdicts keyed by domain.
+func (c *Crawler) CheckDomains(urls map[string]string, day simclock.Day) map[string]Verdict {
+	type job struct{ domain, url string }
+	jobs := make([]job, 0, len(urls))
+	for dom, u := range urls {
+		jobs = append(jobs, job{dom, u})
+	}
+	// Deterministic order keeps the fetch sequence stable across runs.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].domain < jobs[j].domain })
+
+	out := make(map[string]Verdict, len(jobs))
+	var outMu sync.Mutex
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	workers := c.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				v := c.CheckDomain(j.domain, j.url, day)
+				outMu.Lock()
+				out[j.domain] = v
+				outMu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// Fetches reports how many detector invocations the cache allowed through.
+func (c *Crawler) Fetches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetches
+}
+
+// Cached returns the cached verdict for a domain, if any.
+func (c *Crawler) Cached(domain string) (Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.cache[domain]
+	return v, ok
+}
+
+// Invalidate drops a domain from the cache (used when the world knows the
+// domain changed hands, e.g. after a seizure is served).
+func (c *Crawler) Invalidate(domain string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, domain)
+}

@@ -1,0 +1,328 @@
+// Package crawler implements the measurement crawlers of §4.1: Dagger,
+// which detects cloaking by fetching each URL as a user and as a search
+// engine crawler and comparing the responses semantically, and VanGogh,
+// which renders pages (executing their JavaScript) to detect full-page
+// iframe cloaking that serves identical documents to both visitor classes.
+// It also implements the §4.1.3 storefront detector and a caching daily
+// crawl scheduler.
+package crawler
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/htmlparse"
+	"repro/internal/jsmini"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+// Options tunes detection.
+type Options struct {
+	// SimilarityThreshold is the Jaccard term-set similarity below which
+	// Dagger considers the user and crawler views semantically different.
+	SimilarityThreshold float64
+	// EnableVanGogh turns on rendered iframe-cloaking detection. Disabling
+	// it reproduces the pre-VanGogh blind spot (the abl-render ablation).
+	EnableVanGogh bool
+	// RenderOnDagger renders pages Dagger flags, to follow JavaScript
+	// redirects to the landing store (the paper's HtmlUnit extension).
+	RenderOnDagger bool
+	// MaxRedirects bounds HTTP redirect chains.
+	MaxRedirects int
+}
+
+// DefaultOptions returns the configuration used by the study.
+func DefaultOptions() Options {
+	return Options{
+		SimilarityThreshold: 0.35,
+		EnableVanGogh:       true,
+		RenderOnDagger:      true,
+		MaxRedirects:        5,
+	}
+}
+
+// Verdict is the outcome of checking one URL or domain.
+type Verdict struct {
+	Cloaked     bool
+	Detector    string // "dagger-redirect", "dagger-semantic", "dagger-js", "vangogh"
+	IsStore     bool   // landing site looks like a counterfeit storefront
+	StoreDomain string // domain of the landing storefront
+	CheckedDay  simclock.Day
+	// Indeterminate marks a check spoiled by fetch failures: the URL is
+	// neither confirmed clean nor cloaked, and must not be cached as clean.
+	Indeterminate bool
+}
+
+// Iframe is an iframe observed after rendering.
+type Iframe struct {
+	Src    string
+	Width  string
+	Height string
+}
+
+// fullPage reports whether the iframe visually occupies the page under the
+// paper's VanGogh rule: width and height both either 100% or above 800px.
+func (f Iframe) fullPage() bool {
+	big := func(s string) bool {
+		s = strings.TrimSpace(s)
+		if s == "100%" {
+			return true
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(s, "px"))
+		return err == nil && n > 800
+	}
+	return big(f.Width) && big(f.Height)
+}
+
+// RenderResult is what a headless render of a document observes.
+type RenderResult struct {
+	Redirect string   // JavaScript navigation, if any
+	Iframes  []Iframe // static and script-created iframes
+	Errors   []error  // non-fatal script errors
+}
+
+// Render parses a document, executes its scripts with the jsmini
+// interpreter, and reports JS navigations and the iframes present after
+// execution (both static markup and DOM-created, including those written
+// via document.write).
+func Render(body, pageURL, referrer string) RenderResult {
+	var res RenderResult
+	root := htmlparse.Parse(body)
+	collectIframes(root, &res)
+	pg := &jsmini.Page{URL: pageURL, Referrer: referrer}
+	for _, script := range root.Scripts() {
+		if err := jsmini.Exec(script, pg); err != nil {
+			res.Errors = append(res.Errors, err)
+		}
+	}
+	res.Redirect = pg.Redirect
+	for _, e := range pg.AppendedElements() {
+		if e.Tag != "iframe" {
+			continue
+		}
+		w, h := e.Attrs["width"], e.Attrs["height"]
+		if w == "" {
+			w = e.Attrs["style:width"]
+		}
+		if h == "" {
+			h = e.Attrs["style:height"]
+		}
+		res.Iframes = append(res.Iframes, Iframe{Src: e.Attrs["src"], Width: w, Height: h})
+	}
+	for _, written := range pg.Writes {
+		collectIframes(htmlparse.Parse(written), &res)
+	}
+	return res
+}
+
+func collectIframes(root *htmlparse.Node, res *RenderResult) {
+	for _, n := range root.FindAll("iframe") {
+		src, _ := n.Attr("src")
+		w, _ := n.Attr("width")
+		h, _ := n.Attr("height")
+		res.Iframes = append(res.Iframes, Iframe{Src: src, Width: w, Height: h})
+	}
+}
+
+// storeCookieMarkers are Set-Cookie name prefixes associated with the
+// counterfeit e-commerce stack (§4.1.3: payment processing, e-commerce
+// platforms, web analytics).
+var storeCookieMarkers = []string{
+	"zenid", "frontend", "realypay", "mallpayment", "globalbill",
+	"CNZZDATA", "ajstat", "magento",
+}
+
+// LooksLikeStore applies the §4.1.3 storefront heuristics to a landing
+// page: detection-relevant cookies, or "cart"/"checkout" substrings in the
+// body.
+func LooksLikeStore(body string, cookies []string) bool {
+	for _, c := range cookies {
+		name, _, _ := strings.Cut(c, "=")
+		name = strings.TrimSpace(name)
+		for _, marker := range storeCookieMarkers {
+			if strings.HasPrefix(strings.ToLower(name), strings.ToLower(marker)) {
+				return true
+			}
+		}
+	}
+	low := strings.ToLower(body)
+	return strings.Contains(low, "cart") || strings.Contains(low, "checkout")
+}
+
+// Detector runs Dagger and VanGogh against a Fetcher. Term sets and render
+// results are memoised per document: the crawler re-fetches stable pages
+// daily and must not re-tokenise or re-execute them each time.
+type Detector struct {
+	F    simweb.Fetcher
+	Opts Options
+
+	mu        sync.Mutex
+	termSets  map[string]map[string]struct{}
+	renders   map[string]RenderResult
+	cacheHits int
+}
+
+// NewDetector returns a detector with the study's defaults.
+func NewDetector(f simweb.Fetcher) *Detector {
+	return &Detector{
+		F:        f,
+		Opts:     DefaultOptions(),
+		termSets: make(map[string]map[string]struct{}),
+		renders:  make(map[string]RenderResult),
+	}
+}
+
+// cacheLimit bounds both memo tables; beyond it the tables reset (simple
+// generational eviction — the working set is the current day's documents).
+const cacheLimit = 200000
+
+func (d *Detector) termSet(body string) map[string]struct{} {
+	d.mu.Lock()
+	if d.termSets == nil {
+		d.termSets = make(map[string]map[string]struct{})
+	}
+	if ts, ok := d.termSets[body]; ok {
+		d.cacheHits++
+		d.mu.Unlock()
+		return ts
+	}
+	d.mu.Unlock()
+	ts := htmlparse.TermSet(body)
+	d.mu.Lock()
+	if len(d.termSets) > cacheLimit {
+		d.termSets = make(map[string]map[string]struct{})
+	}
+	d.termSets[body] = ts
+	d.mu.Unlock()
+	return ts
+}
+
+func (d *Detector) render(body, pageURL, referrer string) RenderResult {
+	key := pageURL + "\x00" + referrer + "\x00" + body
+	d.mu.Lock()
+	if d.renders == nil {
+		d.renders = make(map[string]RenderResult)
+	}
+	if rr, ok := d.renders[key]; ok {
+		d.cacheHits++
+		d.mu.Unlock()
+		return rr
+	}
+	d.mu.Unlock()
+	rr := Render(body, pageURL, referrer)
+	d.mu.Lock()
+	if len(d.renders) > cacheLimit {
+		d.renders = make(map[string]RenderResult)
+	}
+	d.renders[key] = rr
+	d.mu.Unlock()
+	return rr
+}
+
+// CheckURL runs the full §4.1 pipeline on one search-result URL: Dagger's
+// dual fetch, rendering as needed, VanGogh's iframe pass, and storefront
+// detection on the landing site.
+func (d *Detector) CheckURL(rawurl string, day simclock.Day) Verdict {
+	v := Verdict{CheckedDay: day}
+	userReq := simweb.Request{
+		URL:       rawurl,
+		UserAgent: simweb.BrowserUA,
+		Referrer:  simweb.SearchReferrer + "?q=click",
+		Day:       day,
+	}
+	userResp, finalURL := d.F.FetchFollow(userReq, d.Opts.MaxRedirects)
+	crawlerResp := d.F.Fetch(simweb.Request{
+		URL: rawurl, UserAgent: simweb.CrawlerUA, Day: day,
+	})
+	sameHost := hostOf(finalURL) == hostOf(rawurl)
+	switch {
+	case !sameHost:
+		// The user fetch left the doorway: redirect cloaking (the landing
+		// status does not change the fact that the doorway redirected).
+		v.Cloaked = true
+		v.Detector = "dagger-redirect"
+		v.IsStore = userResp.Status < 400 && LooksLikeStore(userResp.Body, userResp.Cookies)
+		v.StoreDomain = hostOf(finalURL)
+		return v
+	case userResp.Status >= 400 || crawlerResp.Status >= 400:
+		// A failed fetch on either side would make the semantic diff
+		// meaningless — one transient 5xx must not manufacture a cloaking
+		// verdict. Only a double 404 confirms a dead URL; anything else is
+		// indeterminate and retried rather than cached as clean.
+		v.Indeterminate = !(userResp.Status == 404 && crawlerResp.Status == 404)
+		return v
+	default:
+		sim := htmlparse.Jaccard(
+			d.termSet(userResp.Body), d.termSet(crawlerResp.Body))
+		if sim < d.Opts.SimilarityThreshold {
+			// Semantically different views: cloaking, but the user was not
+			// HTTP-redirected. Render to chase a JavaScript redirect.
+			v.Cloaked = true
+			v.Detector = "dagger-semantic"
+			if d.Opts.RenderOnDagger {
+				rr := d.render(userResp.Body, rawurl, userReq.Referrer)
+				if rr.Redirect != "" {
+					v.Detector = "dagger-js"
+					d.inspectLanding(&v, rr.Redirect, day)
+					return v
+				}
+			}
+			v.IsStore = LooksLikeStore(userResp.Body, userResp.Cookies)
+			v.StoreDomain = hostOf(finalURL)
+			return v
+		}
+	}
+
+	// Dagger saw nothing. VanGogh: render and look for a full-page iframe.
+	if d.Opts.EnableVanGogh {
+		rr := d.render(userResp.Body, rawurl, userReq.Referrer)
+		if rr.Redirect != "" {
+			// JS redirect cloaking that survived the semantic diff (e.g.
+			// injected into an otherwise identical page).
+			v.Cloaked = true
+			v.Detector = "dagger-js"
+			d.inspectLanding(&v, rr.Redirect, day)
+			return v
+		}
+		for _, f := range rr.Iframes {
+			if f.fullPage() && f.Src != "" {
+				v.Cloaked = true
+				v.Detector = "vangogh"
+				d.inspectLanding(&v, f.Src, day)
+				return v
+			}
+		}
+	}
+	return v
+}
+
+// inspectLanding fetches the landing URL as a user and applies storefront
+// detection.
+func (d *Detector) inspectLanding(v *Verdict, landing string, day simclock.Day) {
+	resp, finalURL := d.F.FetchFollow(simweb.Request{
+		URL: landing, UserAgent: simweb.BrowserUA,
+		Referrer: simweb.SearchReferrer, Day: day,
+	}, d.Opts.MaxRedirects)
+	v.IsStore = LooksLikeStore(resp.Body, resp.Cookies)
+	v.StoreDomain = hostOf(finalURL)
+}
+
+func hostOf(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Hostname()
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if !v.Cloaked {
+		return "clean"
+	}
+	return fmt.Sprintf("cloaked(%s)->%s store=%v", v.Detector, v.StoreDomain, v.IsStore)
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a completed study dataset, plus the validation numbers
+// quoted in the text and the ablations DESIGN.md calls out. Each experiment
+// returns a structured result whose String method renders the same rows or
+// series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run computes the result from a completed dataset.
+	Run func(d *core.Dataset) fmt.Stringer
+}
+
+// All returns the experiment registry in the paper's order. Ablations that
+// require running alternate worlds are listed separately (Ablations).
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: verticals monitored (PSRs, doorways, stores, campaigns)",
+			func(d *core.Dataset) fmt.Stringer { return Table1(d) }},
+		{"table2", "Table 2: classified campaigns (doorways, stores, brands, peak)",
+			func(d *core.Dataset) fmt.Stringer { return Table2(d) }},
+		{"table3", "Table 3: domain seizures by brand-protection firm",
+			func(d *core.Dataset) fmt.Stringer { return Table3(d) }},
+		{"fig2", "Figure 2: PSR attribution over time (4 verticals)",
+			func(d *core.Dataset) fmt.Stringer { return Figure2(d) }},
+		{"fig3", "Figure 3: % of search results poisoned per vertical",
+			func(d *core.Dataset) fmt.Stringer { return Figure3(d) }},
+		{"fig4", "Figure 4: PSR visibility vs order activity (4 campaigns)",
+			func(d *core.Dataset) fmt.Stringer { return Figure4(d) }},
+		{"fig5", "Figure 5: the coco*.com case study (PSRs, traffic, orders)",
+			func(d *core.Dataset) fmt.Stringer { return Figure5(d) }},
+		{"fig6", "Figure 6: PHP?P= order numbers under a domain seizure",
+			func(d *core.Dataset) fmt.Stringer { return Figure6(d) }},
+		{"classifier", "§4.2: campaign classifier accuracy and refinement",
+			func(d *core.Dataset) fmt.Stringer { return Classifier(d) }},
+		{"storedetect", "§4.1.3: storefront detection validation",
+			func(d *core.Dataset) fmt.Stringer { return StoreDetect(d) }},
+		{"terms", "§4.1.1: term-selection methodology comparison",
+			func(d *core.Dataset) fmt.Stringer { return Terms(d) }},
+		{"hackedlabels", "§5.2.2: hacked-label coverage and reaction time",
+			func(d *core.Dataset) fmt.Stringer { return HackedLabels(d) }},
+		{"seizurelife", "§5.3.2: seizure lifetimes and campaign reaction",
+			func(d *core.Dataset) fmt.Stringer { return SeizureLife(d) }},
+		{"supplier", "§4.5: supply-side shipment records",
+			func(d *core.Dataset) fmt.Stringer { return Supplier(d) }},
+		{"transactions", "§4.3.2: transaction probes and payment banks",
+			func(d *core.Dataset) fmt.Stringer { return Transactions(d) }},
+		{"cnc", "§3.1.2: C&C infiltration vs crawl coverage",
+			func(d *core.Dataset) fmt.Stringer { return CnC(d) }},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a small fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func commas(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/supplier"
+)
+
+// SupplierResult reproduces §4.5: the scraped shipment records of the
+// fulfilment partner.
+type SupplierResult struct {
+	Records         int
+	Delivered       int
+	SeizedSource    int
+	SeizedDest      int
+	Returned        int
+	TopCountries    []CountryCount
+	TopRegionsShare float64
+	ScrapeOK        bool
+}
+
+// CountryCount pairs a destination with its order count.
+type CountryCount struct {
+	Country string
+	Orders  int
+}
+
+// Supplier scrapes the supplier's tracking site through its bulk lookup
+// interface (exactly as §4.5 did) and summarises the records.
+func Supplier(d *core.Dataset) *SupplierResult {
+	w := d.World()
+	res := &SupplierResult{}
+	recs, err := supplier.Scrape(w.Web, core.SupplierDomain)
+	if err != nil {
+		// Fall back to the generator's dataset if the site is unreachable.
+		recs = w.Supplier.Records
+	} else {
+		res.ScrapeOK = true
+	}
+	ds := &supplier.Dataset{Records: recs}
+	res.Records = len(recs)
+	by := ds.ByStatus()
+	res.Delivered = by[supplier.Delivered]
+	res.SeizedSource = by[supplier.SeizedAtSource]
+	res.SeizedDest = by[supplier.SeizedAtDestination]
+	res.Returned = by[supplier.Returned]
+	res.TopRegionsShare = ds.TopRegionsShare()
+	counts := ds.ByCountry()
+	for _, c := range []string{"US", "JP", "AU"} {
+		res.TopCountries = append(res.TopCountries, CountryCount{c, counts[c]})
+	}
+	var we int
+	for c, n := range counts {
+		if supplier.WesternEurope[c] {
+			we += n
+		}
+	}
+	res.TopCountries = append(res.TopCountries, CountryCount{"W.Europe", we})
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r *SupplierResult) String() string {
+	var b strings.Builder
+	b.WriteString("§4.5 supply-side shipments (paper: 279K records; 256K delivered, 4K seized at source, 15K at destination, 1,319 returned; US/JP/AU + W.Europe = 81%)\n")
+	fmt.Fprintf(&b, "records scraped via bulk lookup: %s (scrape ok: %v)\n", commas(int64(r.Records)), r.ScrapeOK)
+	fmt.Fprintf(&b, "delivered: %s   seized@source: %s   seized@destination: %s   returned: %s\n",
+		commas(int64(r.Delivered)), commas(int64(r.SeizedSource)),
+		commas(int64(r.SeizedDest)), commas(int64(r.Returned)))
+	for _, cc := range r.TopCountries {
+		fmt.Fprintf(&b, "  %-9s %s\n", cc.Country, commas(int64(cc.Orders)))
+	}
+	fmt.Fprintf(&b, "top regions share: %.1f%%\n", 100*r.TopRegionsShare)
+	return b.String()
+}

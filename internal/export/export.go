@@ -1,0 +1,219 @@
+// Package export serialises a completed study dataset to JSON and CSV so
+// downstream tooling (notebooks, plotting) can regenerate the paper's
+// figures from the same numbers the in-process experiments use.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/brands"
+	"repro/internal/core"
+)
+
+// Summary is the JSON top-level document.
+type Summary struct {
+	StudyDays       int            `json:"study_days"`
+	SimDays         int            `json:"sim_days"`
+	TotalPSRs       int64          `json:"total_psrs"`
+	TotalDoorways   int            `json:"total_doorways"`
+	TotalStores     int            `json:"total_stores"`
+	AttributedShare float64        `json:"attributed_share"`
+	CVAccuracy      float64        `json:"classifier_cv_accuracy"`
+	Verticals       []VerticalRow  `json:"verticals"`
+	Campaigns       []CampaignRow  `json:"campaigns"`
+	Seizures        []SeizureEvent `json:"seizures"`
+}
+
+// VerticalRow is one Table 1 line.
+type VerticalRow struct {
+	Vertical  string `json:"vertical"`
+	PSRs      int64  `json:"psrs"`
+	Doorways  int    `json:"doorways"`
+	Stores    int    `json:"stores"`
+	Campaigns int    `json:"campaigns"`
+}
+
+// CampaignRow is one Table 2 line.
+type CampaignRow struct {
+	Name     string `json:"name"`
+	Doorways int    `json:"doorways"`
+	Stores   int    `json:"stores"`
+	PeakDays int    `json:"peak_days"`
+}
+
+// SeizureEvent is one observed seizure.
+type SeizureEvent struct {
+	Domain  string `json:"domain"`
+	Day     int    `json:"day"`
+	CaseID  string `json:"case_id"`
+	Firm    string `json:"firm"`
+	StoreID string `json:"store_id,omitempty"`
+}
+
+// BuildSummary assembles the JSON document from a dataset.
+func BuildSummary(d *core.Dataset) *Summary {
+	s := &Summary{
+		StudyDays:       d.StudyDays,
+		SimDays:         d.SimDays,
+		TotalPSRs:       d.TotalPSRs(),
+		TotalDoorways:   d.TotalDoorways(),
+		TotalStores:     d.TotalStores(),
+		AttributedShare: d.AttributedShare(),
+		CVAccuracy:      d.World().CVAccuracy,
+	}
+	for _, v := range brands.All() {
+		vo := d.Verticals[v]
+		s.Verticals = append(s.Verticals, VerticalRow{
+			Vertical:  v.String(),
+			PSRs:      vo.PSRObservations,
+			Doorways:  len(vo.DoorwaysSeen),
+			Stores:    len(vo.StoresSeen),
+			Campaigns: len(vo.CampaignsSeen),
+		})
+	}
+	names := make([]string, 0, len(d.Campaigns))
+	for name := range d.Campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		co := d.Campaigns[name]
+		_, _, peak := co.PSRTop100.PeakRange(0.6)
+		s.Campaigns = append(s.Campaigns, CampaignRow{
+			Name:     name,
+			Doorways: len(co.Doorways),
+			Stores:   len(co.StoresSeen),
+			PeakDays: peak,
+		})
+	}
+	for _, sz := range d.Seizures {
+		if !sz.SeenInPSRs {
+			continue
+		}
+		s.Seizures = append(s.Seizures, SeizureEvent{
+			Domain: sz.Domain, Day: int(sz.Day), CaseID: sz.CaseID,
+			Firm: sz.FirmKey, StoreID: sz.StoreID,
+		})
+	}
+	return s
+}
+
+// WriteSummaryJSON writes the summary document.
+func WriteSummaryJSON(w io.Writer, d *core.Dataset) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildSummary(d))
+}
+
+// WriteVerticalSeriesCSV writes one row per day with each vertical's top-10
+// and top-100 poisoning percentages and penalised share — the Figure 2/3
+// raw series.
+func WriteVerticalSeriesCSV(w io.Writer, d *core.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := []string{"day"}
+	for _, v := range brands.All() {
+		name := sanitizeCol(v.String())
+		header = append(header, name+"_top10_pct", name+"_top100_pct", name+"_penalized_pct")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for day := 0; day < d.SimDays; day++ {
+		row := []string{strconv.Itoa(day)}
+		for _, v := range brands.All() {
+			vo := d.Verticals[v]
+			row = append(row,
+				f(vo.Top10PoisonedPct.At(day)),
+				f(vo.Top100PoisonedPct.At(day)),
+				f(vo.PenalizedPct.At(day)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCampaignSeriesCSV writes one row per (day, campaign) with PSR counts
+// — the Figure 4 raw series.
+func WriteCampaignSeriesCSV(w io.Writer, d *core.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"day", "campaign", "psrs_top100", "psrs_top10", "labeled"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(d.Campaigns))
+	for name := range d.Campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for day := 0; day < d.SimDays; day++ {
+		for _, name := range names {
+			co := d.Campaigns[name]
+			t100 := co.PSRTop100.At(day)
+			t10 := co.PSRTop10.At(day)
+			lab := co.LabeledPSRs.At(day)
+			if t100 == 0 && t10 == 0 && lab == 0 {
+				continue
+			}
+			if err := cw.Write([]string{
+				strconv.Itoa(day), name, f(t100), f(t10), f(lab),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func sanitizeCol(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c-'A'+'a')
+		case c == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Dir writes summary.json, vertical_series.csv and campaign_series.csv into
+// path, creating it if needed.
+func Dir(path string, d *core.Dataset) error {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	write := func(name string, fn func(io.Writer, *core.Dataset) error) error {
+		fp, err := os.Create(filepath.Join(path, name))
+		if err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		defer fp.Close()
+		if err := fn(fp, d); err != nil {
+			return fmt.Errorf("export %s: %w", name, err)
+		}
+		return fp.Close()
+	}
+	if err := write("summary.json", WriteSummaryJSON); err != nil {
+		return err
+	}
+	if err := write("vertical_series.csv", WriteVerticalSeriesCSV); err != nil {
+		return err
+	}
+	return write("campaign_series.csv", WriteCampaignSeriesCSV)
+}

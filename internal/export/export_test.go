@@ -1,0 +1,130 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var (
+	once sync.Once
+	data *core.Dataset
+)
+
+func dataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	once.Do(func() {
+		cfg := core.TestConfig()
+		cfg.TermsPerVertical = 4
+		cfg.SlotsPerTerm = 20
+		cfg.ExtendedTail = false
+		data = core.NewWorld(cfg).Run()
+	})
+	return data
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+	if err := WriteSummaryJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalPSRs != d.TotalPSRs() {
+		t.Fatalf("psrs = %d, want %d", s.TotalPSRs, d.TotalPSRs())
+	}
+	if len(s.Verticals) != 16 {
+		t.Fatalf("verticals = %d", len(s.Verticals))
+	}
+	if len(s.Campaigns) == 0 {
+		t.Fatal("no campaigns exported")
+	}
+	if s.AttributedShare <= 0 || s.AttributedShare > 1 {
+		t.Fatalf("attributed share = %v", s.AttributedShare)
+	}
+}
+
+func TestVerticalSeriesCSVShape(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+	if err := WriteVerticalSeriesCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != d.SimDays+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), d.SimDays+1)
+	}
+	if len(rows[0]) != 1+16*3 {
+		t.Fatalf("columns = %d", len(rows[0]))
+	}
+	if rows[0][0] != "day" || !strings.HasSuffix(rows[0][1], "_top10_pct") {
+		t.Fatalf("header = %v", rows[0][:3])
+	}
+}
+
+func TestCampaignSeriesCSVSparse(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+	if err := WriteCampaignSeriesCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sparse: no all-zero rows after the header.
+	for _, row := range rows[1:] {
+		if row[2] == "0.000" && row[3] == "0.000" && row[4] == "0.000" {
+			t.Fatalf("all-zero row exported: %v", row)
+		}
+	}
+}
+
+func TestDirWritesAllArtifacts(t *testing.T) {
+	d := dataset(t)
+	dir := t.TempDir()
+	if err := Dir(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"summary.json", "vertical_series.csv", "campaign_series.csv"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestDirBadPath(t *testing.T) {
+	d := dataset(t)
+	if err := Dir("/proc/definitely/not/writable", d); err == nil {
+		t.Fatal("bad path must fail")
+	}
+}
+
+func TestSanitizeCol(t *testing.T) {
+	if got := sanitizeCol("Beats By Dre"); got != "beats_by_dre" {
+		t.Fatalf("got %q", got)
+	}
+	if got := sanitizeCol("PHP?P="); got != "phpp" {
+		t.Fatalf("got %q", got)
+	}
+}

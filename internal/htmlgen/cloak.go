@@ -1,0 +1,131 @@
+package htmlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// obfuscate renders a JavaScript expression that evaluates to s, chosen
+// from the obfuscation repertoire SEO kits use to defeat grep-style
+// analysis (§3.1.1 notes the JavaScript is "frequently obfuscated").
+// Every variant is executable by the jsmini interpreter.
+func obfuscate(r *rng.Source, s string) string {
+	switch r.Intn(5) {
+	case 0: // plain literal
+		return fmt.Sprintf("%q", s)
+	case 1: // string concatenation in randomly sized chunks
+		var parts []string
+		for len(s) > 0 {
+			n := 2 + r.Intn(5)
+			if n > len(s) {
+				n = len(s)
+			}
+			parts = append(parts, fmt.Sprintf("%q", s[:n]))
+			s = s[n:]
+		}
+		return strings.Join(parts, " + ")
+	case 2: // split/reverse/join
+		rev := make([]byte, len(s))
+		for i := 0; i < len(s); i++ {
+			rev[len(s)-1-i] = s[i]
+		}
+		return fmt.Sprintf("%q.split(\"\").reverse().join(\"\")", string(rev))
+	case 3: // String.fromCharCode
+		codes := make([]string, len(s))
+		for i := 0; i < len(s); i++ {
+			codes[i] = fmt.Sprintf("%d", s[i])
+		}
+		return "String.fromCharCode(" + strings.Join(codes, ",") + ")"
+	default: // percent-encoding + unescape
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			fmt.Fprintf(&b, "%%%02x", s[i])
+		}
+		return fmt.Sprintf("unescape(%q)", b.String())
+	}
+}
+
+// RedirectScript renders the client-side half of redirect cloaking: a
+// script that sends visitors arriving from a search engine to the store.
+// Visitors without a search referrer keep seeing the page, which keeps the
+// compromise invisible to the site owner. id selects a stable obfuscation
+// mix per doorway.
+func (g *Generator) RedirectScript(id, target string) string {
+	r := g.rngFor("redirect", id)
+	u := obfuscate(r, target)
+	cond := rng.Pick(r, []string{
+		`document.referrer.indexOf("google") != -1`,
+		`document.referrer.indexOf("search") != -1 || document.referrer.indexOf("google") != -1`,
+		`document.referrer.length > 0 && document.referrer.indexOf("google") >= 0`,
+	})
+	body := fmt.Sprintf("var u = %s;\nif (%s) { window.location = u; }", u, cond)
+	if r.Bool(0.3) {
+		// Eval-wrapped variant: the redirect source itself is assembled at
+		// runtime.
+		inner := fmt.Sprintf("if (%s) { window.location = %s; }", cond, u)
+		body = fmt.Sprintf("var c = %s;\neval(c);", obfuscate(r, inner))
+	}
+	return body
+}
+
+// IframeScript renders the iframe-cloaking payload: a script that loads the
+// store in an iframe occupying the whole viewport, giving users the
+// illusion of browsing the store while the underlying document — the one a
+// non-rendering crawler sees — never changes (§3.1.1, Figure 1).
+func (g *Generator) IframeScript(id, target string) string {
+	r := g.rngFor("iframe", id)
+	u := obfuscate(r, target)
+	switch r.Intn(3) {
+	case 0: // createElement + property assignment
+		return fmt.Sprintf(`var u = %s;
+var f = document.createElement("iframe");
+f.src = u;
+f.width = "100%%";
+f.height = "100%%";
+f.style.position = "absolute";
+f.style.top = "0";
+f.style.left = "0";
+f.style.border = "0";
+document.body.appendChild(f);`, u)
+	case 1: // createElement + setAttribute, pixel dimensions above 800
+		w := 900 + r.Intn(600)
+		h := 850 + r.Intn(400)
+		return fmt.Sprintf(`var u = %s;
+var f = document.createElement("iframe");
+f.setAttribute("src", u);
+f.setAttribute("width", "%d");
+f.setAttribute("height", "%d");
+f.setAttribute("frameborder", "0");
+document.body.appendChild(f);`, u, w, h)
+	default: // document.write of the iframe markup
+		return fmt.Sprintf(`var u = %s;
+document.write('<iframe src="' + u + '" width="100%%" height="100%%" frameborder="0"></iframe>');`, u)
+	}
+}
+
+// CloakedDoorwayUserPage renders the document a doorway serves to ordinary
+// browsers under iframe cloaking: the same keyword content the crawler gets
+// (or the original site content), plus the iframe payload in a script tag.
+func (g *Generator) CloakedDoorwayUserPage(base, id, target string) string {
+	return g.memo("cloak/"+id+"/"+target, func() string {
+		return injectScript(base, g.IframeScript(id, target))
+	})
+}
+
+// InjectRedirect splices a redirect-cloaking script into a page.
+func (g *Generator) InjectRedirect(base, id, target string) string {
+	return g.memo("inj/"+id+"/"+target, func() string {
+		return injectScript(base, g.RedirectScript(id, target))
+	})
+}
+
+// injectScript inserts a script element before </body> (or appends).
+func injectScript(page, script string) string {
+	tag := "<script type=\"text/javascript\">\n" + script + "\n</script>\n"
+	if i := strings.LastIndex(page, "</body>"); i >= 0 {
+		return page[:i] + tag + page[i:]
+	}
+	return page + tag
+}

@@ -1,0 +1,381 @@
+// Package htmlgen synthesises the HTML the simulated web serves: counterfeit
+// storefronts built from shared e-commerce templates plus per-campaign
+// signature markers, keyword-stuffed doorway pages, compromised sites'
+// original content, benign search results, seizure notice pages, and the
+// obfuscated JavaScript cloaking payloads (redirect and full-page iframe)
+// that the jsmini interpreter can execute.
+//
+// Generation is deterministic per (campaign, store/doorway, domain): the
+// crawler may fetch the same URL many times and must see a stable document.
+package htmlgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+)
+
+// Generator produces documents for one simulated world. Documents are
+// deterministic per identity, so the generator memoises them: the crawler
+// fetches the same URLs daily and must not pay generation cost each time.
+type Generator struct {
+	root  *rng.Source
+	cache sync.Map // cache key -> string
+}
+
+// New returns a Generator deriving all randomness from r.
+func New(r *rng.Source) *Generator {
+	return &Generator{root: r.Sub("htmlgen")}
+}
+
+// memo returns the cached document for key, generating it once.
+func (g *Generator) memo(key string, build func() string) string {
+	if v, ok := g.cache.Load(key); ok {
+		return v.(string)
+	}
+	s := build()
+	actual, _ := g.cache.LoadOrStore(key, s)
+	return actual.(string)
+}
+
+// rngFor yields the stable substream for one document identity.
+func (g *Generator) rngFor(kind, id string) *rng.Source {
+	return g.root.Sub(kind + "/" + id)
+}
+
+var fillerWords = []string{
+	"quality", "fashion", "style", "classic", "genuine", "leather",
+	"premium", "design", "collection", "season", "trend", "exclusive",
+	"limited", "edition", "delivery", "worldwide", "guarantee", "original",
+	"luxury", "authentic", "bestseller", "popular", "comfort", "elegant",
+}
+
+var productNouns = []string{
+	"Handbag", "Tote", "Wallet", "Boots", "Sneakers", "Jacket", "Coat",
+	"Watch", "Sunglasses", "Scarf", "Belt", "Headphones", "Polo Shirt",
+	"Hoodie", "Slippers", "Backpack", "Bracelet", "Ring", "Earbuds",
+}
+
+// Platform is an e-commerce stack whose cookies/markup counterfeit stores
+// reuse (§4.1.3 names Zen Cart and Magento; Realypay/Mallpayment
+// processors; Ajstat/CNZZ analytics).
+type Platform struct {
+	Name      string
+	Generator string // meta generator string
+	CartPath  string
+	Cookie    string // session cookie name the detection heuristic keys on
+}
+
+var platforms = []Platform{
+	{"zencart", "shopping cart program by Zen Cart", "/index.php?main_page=shopping_cart", "zenid"},
+	{"magento", "Magento, Varien, E-commerce", "/checkout/cart/", "frontend"},
+}
+
+// PlatformFor returns the e-commerce platform a store's pages are built on.
+// It is derived from the same substream as StorePage, so markup and cookies
+// always agree.
+func (g *Generator) PlatformFor(sd *campaign.StoreDeployment) Platform {
+	r := g.rngFor("store", sd.ID)
+	return platforms[r.Intn(len(platforms))]
+}
+
+var processors = []string{"realypay", "mallpayment", "globalbill"}
+
+// sentence builds a deterministic pseudo-sentence of n filler words.
+func sentence(r *rng.Source, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = rng.Pick(r, fillerWords)
+	}
+	return strings.Join(parts, " ")
+}
+
+// StorePage renders a counterfeit storefront's landing page as served on
+// the given domain. The document mixes three layers of signal, which is
+// what makes campaign classification non-trivial but learnable:
+//
+//   - platform markup shared across campaigns (Zen Cart / Magento classes,
+//     cart and checkout affordances, payment-processor snippets),
+//   - the campaign's in-house template signature (CSS prefix, analytics id,
+//     comment markers, chat widget, meta markers),
+//   - per-store noise (product mix, filler copy).
+func (g *Generator) StorePage(sd *campaign.StoreDeployment, domain string) string {
+	return g.memo("store/"+sd.ID+"/"+domain+"/"+sd.Campaign.Signature.TemplatePrefix, func() string {
+		return g.storePage(sd, domain)
+	})
+}
+
+func (g *Generator) storePage(sd *campaign.StoreDeployment, domain string) string {
+	r := g.rngFor("store", sd.ID)
+	sig := sd.Campaign.Signature
+	plat := platforms[r.Intn(len(platforms))]
+	proc := rng.Pick(r, processors)
+	pfx := sig.TemplatePrefix
+	if pfx == "" {
+		pfx = "shop"
+	}
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s %s Outlet - Official Online Store</title>\n",
+		sd.Brand, rng.Pick(r, productNouns))
+	fmt.Fprintf(&b, "<meta name=\"generator\" content=\"%s\">\n", plat.Generator)
+	if sig.MetaMarker != "" {
+		fmt.Fprintf(&b, "<meta name=\"%s\" content=\"%s\">\n", sig.MetaMarker, tokenFor(r))
+	}
+	fmt.Fprintf(&b, "<meta name=\"description\" content=\"%s %s\">\n",
+		sd.Brand, sentence(r, 8))
+	fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"/skin/%s/base.css\">\n", pfx)
+	if sig.CommentMarker != "" {
+		fmt.Fprintf(&b, "<!-- %s -->\n", sig.CommentMarker)
+	}
+	b.WriteString("</head>\n<body class=\"" + pfx + "-body\">\n")
+	fmt.Fprintf(&b, "<div class=\"%s-header\"><h1>%s %s</h1>", pfx, sd.Brand,
+		localeBanner(sd.Locale))
+	fmt.Fprintf(&b, "<div class=\"%s-nav\"><a href=\"/\">Home</a> <a href=\"%s\">Cart</a> <a href=\"/checkout\">Checkout</a> <a href=\"/track\">Track Order</a></div></div>\n",
+		pfx, plat.CartPath)
+
+	nProducts := 6 + r.Intn(6)
+	fmt.Fprintf(&b, "<div class=\"%s-grid\">\n", pfx)
+	for i := 0; i < nProducts; i++ {
+		noun := rng.Pick(r, productNouns)
+		price := 79 + r.Intn(300)
+		fmt.Fprintf(&b,
+			"<div class=\"%s-product\"><a href=\"/item/%d\">%s %s %s</a><span class=\"price\">$%d.00</span><a class=\"btn\" href=\"/cart/add/%d\">Add to Cart</a></div>\n",
+			pfx, i, sd.Brand, rng.Pick(r, fillerWords), noun, price, i)
+	}
+	b.WriteString("</div>\n")
+	fmt.Fprintf(&b, "<p class=\"%s-copy\">%s</p>\n", pfx, sentence(r, 18))
+
+	// Payment processor: the merchant id exposed in page source is how the
+	// paper confirmed stores engage processors directly (§3.1.2).
+	fmt.Fprintf(&b,
+		"<div class=\"payment\"><img src=\"https://pay.%s.com/badge.png\" alt=\"%s\"><input type=\"hidden\" name=\"merchant_id\" value=\"%s-%06d\"></div>\n",
+		proc, proc, proc, merchantID(r, sd.ID))
+	if sig.AnalyticsID != "" {
+		b.WriteString(analyticsSnippet(sig.AnalyticsID))
+	}
+	if sig.ChatWidget != "" {
+		fmt.Fprintf(&b, "<script src=\"/chat/%s/loader.js\"></script>\n", sig.ChatWidget)
+	}
+	if sig.ScriptLibrary != "" {
+		fmt.Fprintf(&b, "<script src=\"/js/%s\"></script>\n", sig.ScriptLibrary)
+	}
+	fmt.Fprintf(&b, "<div class=\"footer\">&copy; 2014 %s. %s</div>\n", domain, sentence(r, 6))
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+func localeBanner(locale string) string {
+	switch locale {
+	case "uk":
+		return "UK Official Outlet"
+	case "de":
+		return "Deutschland Online Shop"
+	case "jp":
+		return "日本公式オンラインストア"
+	case "it":
+		return "Negozio Online Italia"
+	case "fr":
+		return "Boutique en Ligne France"
+	case "au":
+		return "Australia Online Store"
+	default:
+		return "Factory Outlet Online"
+	}
+}
+
+func merchantID(r *rng.Source, id string) int {
+	var h int
+	for _, c := range id {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return (h + r.Intn(1000)) % 1000000
+}
+
+func tokenFor(r *rng.Source) string {
+	const hexdigits = "0123456789ABCDEF"
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = hexdigits[r.Intn(16)]
+	}
+	return string(b)
+}
+
+// analyticsSnippet renders a web-analytics include whose account id is a
+// strong campaign fingerprint (the paper lists 51.la, cnzz.com and
+// statcounter as validation signals).
+func analyticsSnippet(id string) string {
+	switch {
+	case strings.HasPrefix(id, "cnzz-"):
+		return fmt.Sprintf("<script src=\"https://s4.cnzz.com/stat.php?id=%s\"></script>\n", id[5:])
+	case strings.HasPrefix(id, "51la-"):
+		return fmt.Sprintf("<script src=\"https://js.users.51.la/%s.js\"></script>\n", id[5:])
+	default:
+		return fmt.Sprintf("<script src=\"https://analytics.example/%s.js\"></script>\n", id)
+	}
+}
+
+// DoorwayCrawlerPage renders what a search-engine crawler receives from a
+// doorway: keyword-stuffed content crafted to rank for the vertical's
+// terms, carrying the campaign's kit markers.
+func (g *Generator) DoorwayCrawlerPage(dw *campaign.Doorway, terms []string) string {
+	key := "door/" + dw.ID
+	for _, t := range terms {
+		key += "|" + t
+	}
+	return g.memo(key, func() string { return g.doorwayCrawlerPage(dw, terms) })
+}
+
+func (g *Generator) doorwayCrawlerPage(dw *campaign.Doorway, terms []string) string {
+	r := g.rngFor("doorway", dw.ID)
+	sig := dw.Campaign.Signature
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	kw := terms
+	if len(kw) > 12 {
+		kw = kw[:12]
+	}
+	fmt.Fprintf(&b, "<title>%s</title>\n", strings.Join(firstN(kw, 3), " | "))
+	fmt.Fprintf(&b, "<meta name=\"keywords\" content=\"%s\">\n", strings.Join(kw, ","))
+	if sig.MetaMarker != "" {
+		fmt.Fprintf(&b, "<meta name=\"%s\" content=\"%s\">\n", sig.MetaMarker, tokenFor(r))
+	}
+	if sig.CommentMarker != "" {
+		fmt.Fprintf(&b, "<!-- %s -->\n", sig.CommentMarker)
+	}
+	pfx := sig.TemplatePrefix
+	if pfx == "" {
+		pfx = "seo"
+	}
+	b.WriteString("</head>\n<body class=\"" + pfx + "-door\">\n")
+	for i, t := range kw {
+		fmt.Fprintf(&b, "<h2 class=\"%s-kw\"><a href=\"%s\">%s</a></h2>\n", pfx, doorwayPath(sig, t), t)
+		fmt.Fprintf(&b, "<p>%s %s %s</p>\n", t, sentence(r, 14), t)
+		if i%3 == 2 && sig.Shortener != "" {
+			fmt.Fprintf(&b, "<a href=\"http://%s/%s\">more</a>\n", sig.Shortener, tokenFor(r)[:6])
+		}
+	}
+	// Backlink farm block: doorways link to each other to mimic structure.
+	fmt.Fprintf(&b, "<div class=\"%s-links\">\n", pfx)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&b, "<a href=\"http://%s%s\">%s</a>\n",
+			dw.Domain, doorwayPath(sig, rng.Pick(r, fillerWords)), sentence(r, 2))
+	}
+	b.WriteString("</div>\n")
+	if sig.AnalyticsID != "" {
+		b.WriteString(analyticsSnippet(sig.AnalyticsID))
+	}
+	if sig.ScriptLibrary != "" {
+		fmt.Fprintf(&b, "<script src=\"/js/%s\"></script>\n", sig.ScriptLibrary)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// doorwayPath renders the URL path pattern that names several campaigns
+// (e.g. PHP?P=), used both in links and in the campaign's PSR URLs.
+func doorwayPath(sig campaign.Signature, term string) string {
+	slug := strings.ReplaceAll(term, " ", "+")
+	if sig.URLToken == "" {
+		return "/?q=" + slug
+	}
+	if strings.Contains(sig.URLToken, "=") {
+		return "/" + sig.URLToken + slug
+	}
+	return "/" + sig.URLToken + "/?p=" + slug
+}
+
+// DoorwayPath exposes the doorway URL path for a term, for URL construction
+// elsewhere (SERPs, referrer logs).
+func DoorwayPath(sig campaign.Signature, term string) string { return doorwayPath(sig, term) }
+
+// CompromisedOriginalPage renders the legitimate content of the hacked site
+// hosting a doorway: what a direct (non-search) visitor sees, keeping the
+// compromise invisible to the site owner (§3.1.1).
+func (g *Generator) CompromisedOriginalPage(domain string) string {
+	return g.memo("orig/"+domain, func() string { return g.compromisedOriginalPage(domain) })
+}
+
+func (g *Generator) compromisedOriginalPage(domain string) string {
+	r := g.rngFor("original", domain)
+	topic := rng.Pick(r, []string{
+		"community garden", "youth chess club", "parish newsletter",
+		"cycling society", "pottery workshop", "local history archive",
+	})
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s - %s</title>\n", strings.Title(topic), domain)
+	b.WriteString("<meta name=\"generator\" content=\"WordPress 3.5.1\">\n")
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>Welcome to the %s</h1>\n", topic)
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "<div class=\"post\"><h3>Post %d</h3><p>Our %s meets weekly; see the calendar for details. %s</p></div>\n",
+			i+1, topic, loremSentence(r))
+	}
+	b.WriteString("<div class=\"sidebar\"><a href=\"/about\">About</a> <a href=\"/contact\">Contact</a></div>\n")
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+var loremFragments = []string{
+	"Meetings are open to everyone and newcomers are always welcome.",
+	"Please bring your own materials and a cup for tea.",
+	"The annual exhibition will be held in the church hall this spring.",
+	"Membership renewals are due at the end of the month.",
+	"Thanks to all the volunteers who helped at the weekend event.",
+}
+
+func loremSentence(r *rng.Source) string { return rng.Pick(r, loremFragments) }
+
+// BenignResultPage renders a legitimate (retailer, review, news) search
+// result for a term — the non-poisoned remainder of each SERP.
+func (g *Generator) BenignResultPage(domain, term string) string {
+	return g.memo("benign/"+domain+"/"+term, func() string { return g.benignResultPage(domain, term) })
+}
+
+func (g *Generator) benignResultPage(domain, term string) string {
+	r := g.rngFor("benign", domain)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s — reviews and prices | %s</title>\n", term, domain)
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>Shopping guide: %s</h1>\n", term)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "<div class=\"review\"><h3>Review %d</h3><p>%s</p></div>\n",
+			i+1, loremSentence(r))
+	}
+	fmt.Fprintf(&b, "<p>%s</p>\n", sentence(r, 12))
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// SeizureNotice renders the serving-notice page a seized domain returns,
+// embedding the court case identifier the seizure analysis scrapes
+// (§5.3's data collection path).
+func (g *Generator) SeizureNotice(firm, caseID string, domains []string) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<title>Domain Seized</title>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>This domain has been seized</h1>\n")
+	fmt.Fprintf(&b, "<p>Pursuant to a court order obtained by <span class=\"firm\">%s</span> on behalf of the trademark holder, this domain name has been transferred to the control of the brand protection agent.</p>\n", firm)
+	fmt.Fprintf(&b, "<div class=\"case\" data-case=\"%s\">Case No. %s</div>\n", caseID, caseID)
+	b.WriteString("<div class=\"seized-domains\">\n")
+	for _, d := range domains {
+		fmt.Fprintf(&b, "<span class=\"seized\">%s</span>\n", d)
+	}
+	b.WriteString("</div>\n</body>\n</html>\n")
+	return b.String()
+}
+
+func firstN(ss []string, n int) []string {
+	if len(ss) < n {
+		return ss
+	}
+	return ss[:n]
+}

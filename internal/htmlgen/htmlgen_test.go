@@ -1,0 +1,319 @@
+package htmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/brands"
+	"repro/internal/campaign"
+	"repro/internal/htmlparse"
+	"repro/internal/jsmini"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+func testWorld(t *testing.T) (*Generator, []*campaign.Deployment) {
+	t.Helper()
+	r := rng.New(7)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.02)
+	return New(r), deps
+}
+
+func findDep(deps []*campaign.Deployment, name string) *campaign.Deployment {
+	for _, d := range deps {
+		if d.Spec.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestStorePageHasCartAndCheckout(t *testing.T) {
+	g, deps := testWorld(t)
+	for _, dep := range deps[:10] {
+		st := dep.Stores[0]
+		page := g.StorePage(st, st.Domains[0])
+		low := strings.ToLower(page)
+		if !strings.Contains(low, "cart") || !strings.Contains(low, "checkout") {
+			t.Fatalf("%s store page lacks cart/checkout markers", dep.Spec.Name)
+		}
+	}
+}
+
+func TestStorePageDeterministic(t *testing.T) {
+	g, deps := testWorld(t)
+	st := deps[0].Stores[0]
+	a := g.StorePage(st, st.Domains[0])
+	b := g.StorePage(st, st.Domains[0])
+	if a != b {
+		t.Fatal("store page not deterministic")
+	}
+}
+
+func TestStorePageCarriesCampaignSignature(t *testing.T) {
+	g, deps := testWorld(t)
+	msv := findDep(deps, "MSVALIDATE")
+	page := g.StorePage(msv.Stores[0], msv.Stores[0].Domains[0])
+	if !strings.Contains(page, "msvalidate.01") {
+		t.Fatal("MSVALIDATE store page lacks its meta marker")
+	}
+	key := findDep(deps, "KEY")
+	kpage := g.StorePage(key.Stores[0], key.Stores[0].Domains[0])
+	if !strings.Contains(kpage, "kit:key-v3") {
+		t.Fatal("KEY store page lacks its comment marker")
+	}
+	if !strings.Contains(kpage, "cnzz.com/stat.php?id=3301127") {
+		t.Fatal("KEY store page lacks its analytics id")
+	}
+}
+
+func TestStorePageExposesMerchantID(t *testing.T) {
+	g, deps := testWorld(t)
+	page := g.StorePage(deps[0].Stores[0], deps[0].Stores[0].Domains[0])
+	if !strings.Contains(page, "merchant_id") {
+		t.Fatal("store page must expose a payment merchant id (§3.1.2)")
+	}
+}
+
+func TestStorePageParses(t *testing.T) {
+	g, deps := testWorld(t)
+	for _, dep := range deps {
+		st := dep.Stores[0]
+		page := g.StorePage(st, st.Domains[0])
+		root := htmlparse.Parse(page)
+		if root.Find("body") == nil || root.Find("title") == nil {
+			t.Fatalf("%s store page structure broken", dep.Spec.Name)
+		}
+	}
+}
+
+func TestStorePagesDistinguishableAcrossCampaigns(t *testing.T) {
+	// Different campaigns' templates must differ in their triplet features,
+	// otherwise the classifier has nothing to learn.
+	g, deps := testWorld(t)
+	a := g.StorePage(findDep(deps, "KEY").Stores[0], "x.com")
+	b := g.StorePage(findDep(deps, "BIGLOVE").Stores[0], "y.com")
+	ta := map[string]struct{}{}
+	for _, f := range htmlparse.Triplets(a) {
+		ta[f] = struct{}{}
+	}
+	tb := map[string]struct{}{}
+	for _, f := range htmlparse.Triplets(b) {
+		tb[f] = struct{}{}
+	}
+	if sim := htmlparse.Jaccard(ta, tb); sim > 0.8 {
+		t.Fatalf("KEY and BIGLOVE templates too similar: jaccard = %v", sim)
+	}
+}
+
+func TestLocaleBanner(t *testing.T) {
+	g, deps := testWorld(t)
+	php := findDep(deps, "PHP?P=")
+	ukPage := g.StorePage(php.Stores[0], php.Stores[0].Domains[0])
+	if !strings.Contains(ukPage, "UK Official Outlet") {
+		t.Fatal("UK store must carry its localisation banner")
+	}
+}
+
+func TestDoorwayCrawlerPageStuffsKeywords(t *testing.T) {
+	g, deps := testWorld(t)
+	dep := findDep(deps, "KEY")
+	dw := dep.Doorways[0]
+	terms := []string{"cheap beats by dre", "beats by dre outlet", "discount beats"}
+	page := g.DoorwayCrawlerPage(dw, terms)
+	for _, term := range terms {
+		if !strings.Contains(page, term) {
+			t.Fatalf("doorway page missing term %q", term)
+		}
+	}
+	if !strings.Contains(page, "key=") {
+		t.Fatal("KEY doorway must use its URL token in links")
+	}
+}
+
+func TestDoorwayPathPatterns(t *testing.T) {
+	sigEq := campaign.Signature{URLToken: "php?p="}
+	if p := DoorwayPath(sigEq, "cheap uggs"); p != "/php?p=cheap+uggs" {
+		t.Fatalf("php?p= path = %q", p)
+	}
+	sigTok := campaign.Signature{URLToken: "moklele"}
+	if p := DoorwayPath(sigTok, "lv bags"); p != "/moklele/?p=lv+bags" {
+		t.Fatalf("token path = %q", p)
+	}
+	if p := DoorwayPath(campaign.Signature{}, "x y"); p != "/?q=x+y" {
+		t.Fatalf("default path = %q", p)
+	}
+}
+
+func TestCompromisedOriginalPageIsBenign(t *testing.T) {
+	g, _ := testWorld(t)
+	page := g.CompromisedOriginalPage("gardenclub1.org")
+	low := strings.ToLower(page)
+	for _, marker := range []string{"cart", "checkout", "iframe", "merchant"} {
+		if strings.Contains(low, marker) {
+			t.Fatalf("original page must not contain %q", marker)
+		}
+	}
+	if page != g.CompromisedOriginalPage("gardenclub1.org") {
+		t.Fatal("original page must be deterministic per domain")
+	}
+}
+
+func TestBenignResultPage(t *testing.T) {
+	g, _ := testWorld(t)
+	page := g.BenignResultPage("reviews.example.org", "cheap uggs")
+	if !strings.Contains(page, "cheap uggs") {
+		t.Fatal("benign page must mention the term")
+	}
+	if strings.Contains(strings.ToLower(page), "checkout") {
+		t.Fatal("benign page must not look like a store")
+	}
+}
+
+func TestSeizureNotice(t *testing.T) {
+	g, _ := testWorld(t)
+	page := g.SeizureNotice("Greer, Burns & Crain", "14-cv-01234",
+		[]string{"cheapuggs1.com", "cheapuggs2.com"})
+	if !strings.Contains(page, "14-cv-01234") {
+		t.Fatal("notice must embed the case id")
+	}
+	if !strings.Contains(page, "cheapuggs2.com") {
+		t.Fatal("notice must list the co-seized domains")
+	}
+	if !strings.Contains(page, "seized") {
+		t.Fatal("notice must say seized")
+	}
+}
+
+func TestRedirectScriptExecutes(t *testing.T) {
+	g, _ := testWorld(t)
+	for i := 0; i < 40; i++ {
+		id := strings.Repeat("d", i%5+1) + string(rune('a'+i%26))
+		src := g.RedirectScript(id, "http://store.example.net/")
+		pg := &jsmini.Page{URL: "http://door/", Referrer: "http://www.google.com/search?q=x"}
+		if err := jsmini.Exec(src, pg); err != nil {
+			t.Fatalf("variant %d failed: %v\n%s", i, err, src)
+		}
+		if pg.Redirect != "http://store.example.net/" {
+			t.Fatalf("variant %d: search visitor not redirected\n%s", i, src)
+		}
+		direct := &jsmini.Page{URL: "http://door/", Referrer: ""}
+		if err := jsmini.Exec(src, direct); err != nil {
+			t.Fatal(err)
+		}
+		if direct.Redirect != "" {
+			t.Fatalf("variant %d: direct visitor redirected", i)
+		}
+	}
+}
+
+func TestIframeScriptExecutes(t *testing.T) {
+	g, _ := testWorld(t)
+	for i := 0; i < 40; i++ {
+		id := strings.Repeat("f", i%4+1) + string(rune('a'+i%26))
+		src := g.IframeScript(id, "http://store.example.net/")
+		pg := &jsmini.Page{URL: "http://door/"}
+		if err := jsmini.Exec(src, pg); err != nil {
+			t.Fatalf("variant %d failed: %v\n%s", i, err, src)
+		}
+		fullPage := false
+		for _, e := range pg.AppendedElements() {
+			if e.Tag == "iframe" && e.Attrs["src"] == "http://store.example.net/" {
+				fullPage = true
+			}
+		}
+		for _, w := range pg.Writes {
+			if strings.Contains(w, "iframe") && strings.Contains(w, "http://store.example.net/") {
+				fullPage = true
+			}
+		}
+		if !fullPage {
+			t.Fatalf("variant %d produced no full-page iframe\n%s", i, src)
+		}
+	}
+}
+
+func TestInjectScriptPlacement(t *testing.T) {
+	out := injectScript("<html><body><p>x</p></body></html>", "var a = 1;")
+	if !strings.Contains(out, "<script") {
+		t.Fatal("no script injected")
+	}
+	if strings.Index(out, "<script") > strings.Index(out, "</body>") {
+		t.Fatal("script must come before </body>")
+	}
+	// No body: append.
+	out2 := injectScript("<p>x</p>", "var a = 1;")
+	if !strings.HasSuffix(strings.TrimSpace(out2), "</script>") {
+		t.Fatalf("fallback injection broken: %q", out2)
+	}
+}
+
+func TestCloakedDoorwayUserPageRendersIframe(t *testing.T) {
+	g, deps := testWorld(t)
+	dep := findDep(deps, "MOONKIS") // iframe-cloaking campaign
+	dw := dep.Doorways[0]
+	base := g.DoorwayCrawlerPage(dw, []string{"cheap beats"})
+	page := g.CloakedDoorwayUserPage(base, dw.ID, "http://beatsstore.example/")
+	root := htmlparse.Parse(page)
+	scripts := root.Scripts()
+	if len(scripts) == 0 {
+		t.Fatal("no script in cloaked page")
+	}
+	pg := &jsmini.Page{URL: "http://" + dw.Domain + "/"}
+	for _, s := range scripts {
+		if err := jsmini.Exec(s, pg); err != nil {
+			t.Fatalf("script failed: %v", err)
+		}
+	}
+	found := len(pg.AppendedElements()) > 0
+	for _, w := range pg.Writes {
+		if strings.Contains(w, "iframe") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cloaked page must build an iframe when rendered")
+	}
+}
+
+func TestObfuscationRoundTripsAllVariants(t *testing.T) {
+	r := rng.New(99)
+	target := "http://x.example/path?a=1&b=two"
+	for i := 0; i < 100; i++ {
+		exprSrc := obfuscate(r, target)
+		src := "window.location = " + exprSrc + ";"
+		pg := &jsmini.Page{URL: "http://d/"}
+		if err := jsmini.Exec(src, pg); err != nil {
+			t.Fatalf("obfuscation %d failed: %v\n%s", i, err, src)
+		}
+		if pg.Redirect != target {
+			t.Fatalf("obfuscation %d round trip: got %q\n%s", i, pg.Redirect, src)
+		}
+	}
+}
+
+func TestVerticalsAssignBrandsToStores(t *testing.T) {
+	_, deps := testWorld(t)
+	for _, dep := range deps {
+		for _, st := range dep.Stores {
+			if st.Brand == "" {
+				t.Fatalf("store %s has no brand", st.ID)
+			}
+			if st.Vertical < 0 || st.Vertical >= brands.NumVerticals {
+				t.Fatalf("store %s has bad vertical", st.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkStorePage(b *testing.B) {
+	r := rng.New(7)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.02)
+	g := New(r)
+	st := deps[0].Stores[0]
+	for i := 0; i < b.N; i++ {
+		g.StorePage(st, st.Domains[0])
+	}
+}

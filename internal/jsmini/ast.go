@@ -1,0 +1,417 @@
+package jsmini
+
+import "fmt"
+
+// Statements.
+type stmt interface{ isStmt() }
+
+type varStmt struct {
+	name string
+	init expr // may be nil
+}
+
+type exprStmt struct{ e expr }
+
+type ifStmt struct {
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+type assignStmt struct {
+	target expr // identExpr or memberExpr or indexExpr
+	op     string
+	value  expr
+}
+
+func (varStmt) isStmt()    {}
+func (exprStmt) isStmt()   {}
+func (ifStmt) isStmt()     {}
+func (assignStmt) isStmt() {}
+
+// Expressions.
+type expr interface{ isExpr() }
+
+type strLit struct{ v string }
+type numLit struct{ v float64 }
+type identExpr struct{ name string }
+type memberExpr struct {
+	obj  expr
+	name string
+}
+type indexExpr struct {
+	obj expr
+	idx expr
+}
+type callExpr struct {
+	fn   expr
+	args []expr
+}
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type unaryExpr struct {
+	op string
+	e  expr
+}
+type condExpr struct {
+	cond, then, els expr
+}
+type funcLit struct {
+	params []string
+	body   []stmt
+}
+
+func (strLit) isExpr()     {}
+func (numLit) isExpr()     {}
+func (identExpr) isExpr()  {}
+func (memberExpr) isExpr() {}
+func (indexExpr) isExpr()  {}
+func (callExpr) isExpr()   {}
+func (binExpr) isExpr()    {}
+func (unaryExpr) isExpr()  {}
+func (condExpr) isExpr()   {}
+func (funcLit) isExpr()    {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) ([]stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	t := p.peek()
+	return token{}, fmt.Errorf("jsmini: parse error at %d: want %q, got %q", t.pos, text, t.text)
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && t.text == "var":
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var init expr
+		if p.accept(tokPunct, "=") {
+			init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.accept(tokPunct, ";")
+		return varStmt{name: name.text, init: init}, nil
+	case t.kind == tokIdent && t.text == "if":
+		return p.ifStatement()
+	case t.kind == tokPunct && t.text == ";":
+		p.next()
+		return exprStmt{e: strLit{}}, nil
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if op := p.peek(); op.kind == tokPunct && (op.text == "=" || op.text == "+=") {
+			p.next()
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(tokPunct, ";")
+			switch e.(type) {
+			case identExpr, memberExpr, indexExpr:
+				return assignStmt{target: e, op: op.text, value: v}, nil
+			}
+			return nil, fmt.Errorf("jsmini: invalid assignment target at %d", op.pos)
+		}
+		p.accept(tokPunct, ";")
+		return exprStmt{e: e}, nil
+	}
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	p.next() // "if"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.at(tokIdent, "else") {
+		p.next()
+		if p.at(tokIdent, "if") {
+			s, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{s}
+		} else {
+			els, err = p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ifStmt{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) blockOrSingle() ([]stmt, error) {
+	if p.accept(tokPunct, "{") {
+		var stmts []stmt
+		for !p.accept(tokPunct, "}") {
+			if p.at(tokEOF, "") {
+				return nil, fmt.Errorf("jsmini: unterminated block")
+			}
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		return stmts, nil
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return []stmt{s}, nil
+}
+
+// expression parses with precedence: ternary > || > && > equality >
+// relational > additive > multiplicative > unary > postfix (call, member,
+// index) > primary.
+func (p *parser) expression() (expr, error) { return p.ternary() }
+
+func (p *parser) ternary() (expr, error) {
+	cond, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return cond, nil
+	}
+	then, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return condExpr{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) binaryLevel(ops []string, sub func() (expr, error)) (expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tokPunct, op) {
+				p.next()
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = binExpr{op: op, l: l, r: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) or() (expr, error) {
+	return p.binaryLevel([]string{"||"}, p.and)
+}
+func (p *parser) and() (expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.equality)
+}
+func (p *parser) equality() (expr, error) {
+	return p.binaryLevel([]string{"===", "!==", "==", "!="}, p.relational)
+}
+func (p *parser) relational() (expr, error) {
+	return p.binaryLevel([]string{"<=", ">=", "<", ">"}, p.additive)
+}
+func (p *parser) additive() (expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.multiplicative)
+}
+func (p *parser) multiplicative() (expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unary)
+}
+
+func (p *parser) unary() (expr, error) {
+	if p.at(tokPunct, "!") || p.at(tokPunct, "-") {
+		op := p.next().text
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: op, e: e}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "."):
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			e = memberExpr{obj: e, name: name.text}
+		case p.accept(tokPunct, "["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = indexExpr{obj: e, idx: idx}
+		case p.accept(tokPunct, "("):
+			var args []expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			e = callExpr{fn: e, args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return strLit{v: t.text}, nil
+	case t.kind == tokNumber:
+		p.next()
+		var v float64
+		fmt.Sscanf(t.text, "%g", &v)
+		return numLit{v: v}, nil
+	case t.kind == tokIdent && t.text == "function":
+		return p.funcLiteral()
+	case t.kind == tokIdent:
+		p.next()
+		return identExpr{name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("jsmini: unexpected token %q at %d", t.text, t.pos)
+	}
+}
+
+// funcLiteral parses `function(params){ body }`. Named function statements
+// are not needed by the cloaking corpus; anonymous IIFEs are.
+func (p *parser) funcLiteral() (expr, error) {
+	p.next() // "function"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.accept(tokPunct, ")") {
+		if len(params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, name.text)
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var body []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, fmt.Errorf("jsmini: unterminated function body")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return funcLit{params: params, body: body}, nil
+}

@@ -1,0 +1,311 @@
+package jsmini
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string) *Page {
+	t.Helper()
+	pg := &Page{URL: "http://doorway.example.com/page", Referrer: ""}
+	if err := Exec(src, pg); err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return pg
+}
+
+func TestSimpleRedirect(t *testing.T) {
+	pg := run(t, `window.location = "http://store.example.net/";`)
+	if pg.Redirect != "http://store.example.net/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestLocationHrefRedirect(t *testing.T) {
+	pg := run(t, `window.location.href = "http://a.com/x";`)
+	if pg.Redirect != "http://a.com/x" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+	pg = run(t, `document.location.replace("http://b.com/");`)
+	if pg.Redirect != "http://b.com/" {
+		t.Fatalf("replace redirect = %q", pg.Redirect)
+	}
+}
+
+func TestConditionalReferrerRedirect(t *testing.T) {
+	src := `if (document.referrer.indexOf("google") != -1) {
+		window.location = "http://store.example.net/";
+	}`
+	pg := &Page{URL: "http://d.com/", Referrer: "http://www.google.com/search?q=x"}
+	if err := Exec(src, pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Redirect == "" {
+		t.Fatal("search visitor should be redirected")
+	}
+	pg2 := &Page{URL: "http://d.com/", Referrer: ""}
+	if err := Exec(src, pg2); err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Redirect != "" {
+		t.Fatal("direct visitor must not be redirected")
+	}
+}
+
+func TestStringConcatObfuscation(t *testing.T) {
+	pg := run(t, `var a = "http://" + "sto" + "re.co" + "m/"; window.location = a;`)
+	if pg.Redirect != "http://store.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestReverseObfuscation(t *testing.T) {
+	pg := run(t, `var u = "/moc.erots//:ptth".split("").reverse().join("");
+		window.location = u;`)
+	if pg.Redirect != "http://store.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestFromCharCodeObfuscation(t *testing.T) {
+	pg := run(t, `window.location = String.fromCharCode(104,116,116,112,58,47,47,120,46,99,111)+"m";`)
+	if pg.Redirect != "http://x.com" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestUnescapeObfuscation(t *testing.T) {
+	pg := run(t, `window.location = unescape("http%3A%2F%2Fy.com%2F");`)
+	if pg.Redirect != "http://y.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestEvalObfuscation(t *testing.T) {
+	pg := run(t, `var code = "window.location = " + String.fromCharCode(34) + "http://z.com/" + String.fromCharCode(34) + ";";
+		eval(code);`)
+	if pg.Redirect != "http://z.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestIframeInjectionCreateElement(t *testing.T) {
+	pg := run(t, `var f = document.createElement("iframe");
+		f.src = "http://store.example.net/";
+		f.width = "100%";
+		f.height = "100%";
+		f.style.border = "0";
+		document.body.appendChild(f);`)
+	els := pg.AppendedElements()
+	if len(els) != 1 {
+		t.Fatalf("appended elements = %d", len(els))
+	}
+	e := els[0]
+	if e.Tag != "iframe" || e.Attrs["src"] != "http://store.example.net/" {
+		t.Fatalf("element = %+v", e)
+	}
+	if e.Attrs["width"] != "100%" || e.Attrs["height"] != "100%" {
+		t.Fatalf("dimensions = %+v", e.Attrs)
+	}
+	if e.Attrs["style:border"] != "0" {
+		t.Fatalf("style = %+v", e.Attrs)
+	}
+}
+
+func TestIframeSetAttribute(t *testing.T) {
+	pg := run(t, `var f = document.createElement("iframe");
+		f.setAttribute("src", "http://s.com/");
+		f.setAttribute("WIDTH", "1000");
+		document.body.appendChild(f);`)
+	e := pg.AppendedElements()[0]
+	if e.Attrs["src"] != "http://s.com/" || e.Attrs["width"] != "1000" {
+		t.Fatalf("attrs = %+v", e.Attrs)
+	}
+}
+
+func TestDocumentWriteIframe(t *testing.T) {
+	pg := run(t, `document.write('<iframe src="http://s.com/" width="100%" height="100%"></iframe>');`)
+	if len(pg.Writes) != 1 || !strings.Contains(pg.Writes[0], `src="http://s.com/"`) {
+		t.Fatalf("writes = %q", pg.Writes)
+	}
+}
+
+func TestCreatedNotAppendedInvisible(t *testing.T) {
+	pg := run(t, `var f = document.createElement("iframe"); f.src = "http://s.com/";`)
+	if len(pg.AppendedElements()) != 0 {
+		t.Fatal("unappended element must not be visible")
+	}
+	if len(pg.Created) != 1 {
+		t.Fatal("created element must be tracked")
+	}
+}
+
+func TestSetTimeoutRunsCallback(t *testing.T) {
+	pg := run(t, `setTimeout(function(){ window.location = "http://late.com/"; }, 100);`)
+	if pg.Redirect != "http://late.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestCookieAssignment(t *testing.T) {
+	pg := run(t, `document.cookie = "seen=1; path=/";`)
+	if len(pg.Cookies) != 1 || !strings.HasPrefix(pg.Cookies[0], "seen=1") {
+		t.Fatalf("cookies = %q", pg.Cookies)
+	}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	pg := run(t, `var n = 2 * 3 + 4; if (n == 10) { window.location = "http://ok/"; }`)
+	if pg.Redirect != "http://ok/" {
+		t.Fatal("arithmetic broken")
+	}
+	pg = run(t, `if (3 < 2) { window.location = "http://bad/"; } else { window.location = "http://good/"; }`)
+	if pg.Redirect != "http://good/" {
+		t.Fatal("else branch broken")
+	}
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	pg := run(t, `var u = (document.referrer.length > 0) ? "http://ref/" : "http://noref/";
+		window.location = u;`)
+	if pg.Redirect != "http://noref/" {
+		t.Fatalf("ternary = %q", pg.Redirect)
+	}
+	pg2 := &Page{URL: "http://d/", Referrer: "http://google.com/"}
+	if err := Exec(`if (document.referrer.indexOf("google") >= 0 && document.referrer.indexOf("bot") < 0) {
+		window.location="http://both/";}`, pg2); err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Redirect != "http://both/" {
+		t.Fatalf("logical = %q", pg2.Redirect)
+	}
+}
+
+func TestHostnameProperty(t *testing.T) {
+	pg := &Page{URL: "http://sub.door.com/a/b"}
+	if err := Exec(`if (location.hostname == "sub.door.com") { window.location = "http://hit/"; }`, pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Redirect != "http://hit/" {
+		t.Fatalf("hostname branch not taken: %q", pg.Redirect)
+	}
+}
+
+func TestNavigatorUserAgentAbsentByDefault(t *testing.T) {
+	pg := run(t, `var ua = navigator.userAgent; if (ua == "") { window.location = "http://nua/"; }`)
+	if pg.Redirect != "http://nua/" {
+		t.Fatal("empty userAgent branch not taken")
+	}
+}
+
+func TestBudgetTerminatesRunaway(t *testing.T) {
+	// A self-recursive eval loop must hit the budget, not hang.
+	pg := &Page{}
+	err := Exec(`var s = "eval(s)"; eval(s);`, pg)
+	if err == nil {
+		t.Fatal("runaway script must fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`var = ;`, `if (`, `foo(`, `"unterminated`, `var a = {;`,
+	} {
+		if err := Exec(src, &Page{}); err == nil {
+			t.Errorf("Exec(%q) should fail", src)
+		}
+	}
+}
+
+func TestUndefinedIdentifierError(t *testing.T) {
+	if err := Exec(`window.location = missing;`, &Page{}); err == nil {
+		t.Fatal("undefined identifier must error")
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	pg := run(t, `// line comment
+		/* block
+		comment */
+		window.location = "http://c.com/"; // trailing`)
+	if pg.Redirect != "http://c.com/" {
+		t.Fatalf("redirect = %q", pg.Redirect)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	pg := run(t, `var s = "AbC dEf";
+		if (s.toLowerCase() == "abc def" && s.toUpperCase().indexOf("DEF") == 4 &&
+			s.substring(0,3) == "AbC" && s.charAt(1) == "b" && s.replace("AbC","x") == "x dEf" &&
+			s.length == 7) {
+			window.location = "http://strings-ok/";
+		}`)
+	if pg.Redirect != "http://strings-ok/" {
+		t.Fatal("string methods broken")
+	}
+}
+
+func TestCharCodeAtRoundTrip(t *testing.T) {
+	pg := run(t, `var s = "Q";
+		if (String.fromCharCode(s.charCodeAt(0)) == "Q") { window.location = "http://rt/"; }`)
+	if pg.Redirect != "http://rt/" {
+		t.Fatal("charCodeAt round trip broken")
+	}
+}
+
+func TestExecDoesNotPanicOnArbitraryInput(t *testing.T) {
+	check := func(src string) bool {
+		pg := &Page{URL: "http://x/", Referrer: "http://y/"}
+		_ = Exec(src, pg) // errors are fine; panics are not
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionParamsScoping(t *testing.T) {
+	pg := run(t, `var x = "outer";
+		var f = function(x){ window.location = "http://" + x + "/"; };
+		f("inner");
+		if (x == "outer") { document.write("restored"); }`)
+	if pg.Redirect != "http://inner/" {
+		t.Fatalf("param binding broken: %q", pg.Redirect)
+	}
+	if len(pg.Writes) != 1 {
+		t.Fatal("outer variable not restored after call")
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	pg := run(t, `var parts = "a|b|c".split("|");
+		window.location = "http://" + parts[1] + parts.length + "/";`)
+	if pg.Redirect != "http://b3/" {
+		t.Fatalf("indexing = %q", pg.Redirect)
+	}
+}
+
+func BenchmarkExecRedirect(b *testing.B) {
+	src := `if (document.referrer.indexOf("google") != -1) { window.location = "http://s.com/"; }`
+	for i := 0; i < b.N; i++ {
+		pg := &Page{URL: "http://d/", Referrer: "http://google.com/"}
+		if err := Exec(src, pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecIframeObfuscated(b *testing.B) {
+	src := `var u = "/moc.erots//:ptth".split("").reverse().join("");
+		var f = document.createElement("iframe");
+		f.setAttribute("src", u);
+		f.width = "100%"; f.height = "100%";
+		document.body.appendChild(f);`
+	for i := 0; i < b.N; i++ {
+		pg := &Page{URL: "http://d/"}
+		if err := Exec(src, pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

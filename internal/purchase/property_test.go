@@ -1,0 +1,68 @@
+package purchase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simclock"
+)
+
+// TestRatesConserveDeltaProperty: the interpolated daily rates must sum to
+// the total order-number growth across the sampled span (no orders
+// invented or lost by interpolation), for any monotone sample sequence.
+func TestRatesConserveDeltaProperty(t *testing.T) {
+	check := func(gaps []uint8, increments []uint16) bool {
+		if len(gaps) == 0 || len(increments) == 0 {
+			return true
+		}
+		n := len(gaps)
+		if len(increments) < n {
+			n = len(increments)
+		}
+		s := &Series{}
+		day := simclock.Day(0)
+		var orderNo int64 = 1000
+		s.Append(day, orderNo)
+		for i := 0; i < n; i++ {
+			day += simclock.Day(int(gaps[i]%14) + 1)
+			orderNo += int64(increments[i] % 500)
+			s.Append(day, orderNo)
+		}
+		days := int(day) + 5
+		sum := s.Rates(days).Sum()
+		delta := float64(s.TotalDelta())
+		return sum > delta-1e-6 && sum < delta+1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVolumeMonotoneProperty: cumulative volume never decreases.
+func TestVolumeMonotoneProperty(t *testing.T) {
+	check := func(gaps []uint8, increments []uint16) bool {
+		s := &Series{}
+		day := simclock.Day(0)
+		var orderNo int64 = 1
+		s.Append(day, orderNo)
+		n := len(gaps)
+		if len(increments) < n {
+			n = len(increments)
+		}
+		for i := 0; i < n; i++ {
+			day += simclock.Day(int(gaps[i]%10) + 1)
+			orderNo += int64(increments[i] % 100)
+			s.Append(day, orderNo)
+		}
+		vol := s.Volume(int(day) + 2)
+		for i := 1; i < len(vol); i++ {
+			if vol[i] < vol[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package purchase implements the §4.3 order-volume measurement: the
+// purchase-pair technique of creating test orders on live storefronts at
+// intervals and reading the monotonically increasing order numbers, whose
+// deltas upper-bound the orders created in between; plus the §4.3.2
+// transaction probes that reveal payment-processing banks.
+package purchase
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+// Sample is one observed order number at a store on a day.
+type Sample struct {
+	Day     simclock.Day
+	OrderNo int64
+}
+
+// Series holds the samples collected for one store.
+type Series struct {
+	StoreID string
+	Samples []Sample
+}
+
+// Append records a sample, keeping day order.
+func (s *Series) Append(d simclock.Day, n int64) {
+	s.Samples = append(s.Samples, Sample{Day: d, OrderNo: n})
+}
+
+// TotalDelta returns the total order-number growth across the sampled span
+// — the cumulative "volume" number of Figure 4.
+func (s *Series) TotalDelta() int64 {
+	if len(s.Samples) < 2 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].OrderNo - s.Samples[0].OrderNo
+}
+
+// Rates converts the samples into an estimated per-day order creation rate
+// over a window of the given length, linearly interpolating between
+// samples (the Figure 4 "rate" histograms). Days outside the sampled span
+// are zero. Negative deltas (a store resetting its counter) are clamped.
+func (s *Series) Rates(days int) metrics.Series {
+	out := metrics.NewSeries(days)
+	for i := 1; i < len(s.Samples); i++ {
+		a, b := s.Samples[i-1], s.Samples[i]
+		span := int(b.Day - a.Day)
+		if span <= 0 {
+			continue
+		}
+		delta := float64(b.OrderNo - a.OrderNo)
+		if delta < 0 {
+			delta = 0
+		}
+		perDay := delta / float64(span)
+		for d := a.Day; d < b.Day; d++ {
+			out.Add(int(d), perDay)
+		}
+	}
+	return out
+}
+
+// Volume returns the cumulative interpolated order count, starting at zero
+// on the first sample day (the Figure 4 "volume" curves).
+func (s *Series) Volume(days int) metrics.Series {
+	return s.Rates(days).Cumulative()
+}
+
+// orderNoRe extracts the order number from a confirmation page.
+var orderNoRe = regexp.MustCompile(`Order No\. (\d+)`)
+
+// ErrNoOrderNumber is returned when a store's checkout flow yields no order
+// number (store dark, seized, or serving an unexpected page).
+var ErrNoOrderNumber = fmt.Errorf("purchase: no order number on confirmation page")
+
+// CreateOrder drives a store's checkout to obtain a fresh order number:
+// the operational core of the purchase-pair technique. Orders are taken to
+// the payment page and then abandoned, so the store's counter advances by
+// exactly one.
+func CreateOrder(f simweb.Fetcher, storeDomain string, day simclock.Day) (int64, error) {
+	resp := f.Fetch(simweb.Request{
+		URL:       "http://" + storeDomain + "/order/new",
+		UserAgent: simweb.BrowserUA,
+		Referrer:  "", // orders are placed via TOR with a clean session
+		Day:       day,
+	})
+	if resp.Status != 200 {
+		return 0, fmt.Errorf("purchase: status %d from %s: %w", resp.Status, storeDomain, ErrNoOrderNumber)
+	}
+	m := orderNoRe.FindStringSubmatch(resp.Body)
+	if m == nil {
+		return 0, ErrNoOrderNumber
+	}
+	n, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("purchase: bad order number %q: %v", m[1], err)
+	}
+	return n, nil
+}
+
+// Sampler schedules order sampling across stores: weekly per store, capped
+// at three orders per day per campaign to stay under the stores' fraud
+// radar (§4.3.1).
+type Sampler struct {
+	F simweb.Fetcher
+	// IntervalDays is the per-store sampling period (the paper used weekly
+	// visits).
+	IntervalDays int
+	// MaxPerCampaignPerDay caps daily orders per campaign.
+	MaxPerCampaignPerDay int
+
+	series    map[string]*Series
+	lastVisit map[string]simclock.Day
+	today     map[string]int // campaign key -> orders placed today
+	todayDay  simclock.Day
+	// Created/Failed count sampling attempts for reporting.
+	Created int
+	Failed  int
+}
+
+// NewSampler returns a sampler with the study's cadence.
+func NewSampler(f simweb.Fetcher) *Sampler {
+	return &Sampler{
+		F:                    f,
+		IntervalDays:         7,
+		MaxPerCampaignPerDay: 3,
+		series:               make(map[string]*Series),
+		lastVisit:            make(map[string]simclock.Day),
+		today:                make(map[string]int),
+	}
+}
+
+// Target identifies a store the sampler tracks.
+type Target struct {
+	StoreID     string
+	CampaignKey string
+	// Domain returns the store's domain as of a day (follows rotation).
+	Domain func(simclock.Day) string
+}
+
+// Visit samples every due target for the day, respecting the per-campaign
+// cap; targets not yet due are skipped. It returns how many orders were
+// created.
+func (sm *Sampler) Visit(day simclock.Day, targets []Target) int {
+	if day != sm.todayDay {
+		sm.todayDay = day
+		sm.today = make(map[string]int)
+	}
+	var created int
+	for _, t := range targets {
+		last, seen := sm.lastVisit[t.StoreID]
+		if seen && int(day-last) < sm.IntervalDays {
+			continue
+		}
+		if sm.today[t.CampaignKey] >= sm.MaxPerCampaignPerDay {
+			continue
+		}
+		dom := t.Domain(day)
+		if dom == "" {
+			continue
+		}
+		sm.lastVisit[t.StoreID] = day
+		n, err := CreateOrder(sm.F, dom, day)
+		if err != nil {
+			sm.Failed++
+			continue
+		}
+		sm.today[t.CampaignKey]++
+		sm.Created++
+		created++
+		s := sm.series[t.StoreID]
+		if s == nil {
+			s = &Series{StoreID: t.StoreID}
+			sm.series[t.StoreID] = s
+		}
+		s.Append(day, n)
+	}
+	return created
+}
+
+// Series returns the collected samples for a store (nil if never sampled).
+func (sm *Sampler) Series(storeID string) *Series { return sm.series[storeID] }
+
+// AllSeries returns every store's sample series.
+func (sm *Sampler) AllSeries() map[string]*Series { return sm.series }

@@ -1,0 +1,225 @@
+package purchase
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/htmlgen"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+	"repro/internal/store"
+)
+
+func buildStore(t *testing.T) (*simweb.Web, *store.Store, string) {
+	t.Helper()
+	r := rng.New(41)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.01)
+	var dep *campaign.Deployment
+	for _, d := range deps {
+		if d.Spec.Name == "VERA" {
+			dep = d
+		}
+	}
+	gen := htmlgen.New(r)
+	st := store.New(dep.Stores[0], r.Sub("stores"), 245)
+	web := simweb.NewWeb()
+	dom := dep.Stores[0].Domains[0]
+	web.Register(dom, &simweb.StoreSite{Store: st, Gen: gen, Window: simclock.StudyWindow()})
+	return web, st, dom
+}
+
+func TestCreateOrderReadsCounter(t *testing.T) {
+	web, st, dom := buildStore(t)
+	before := st.NextOrderNumber()
+	n, err := CreateOrder(web, dom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != before {
+		t.Fatalf("order no = %d, want %d", n, before)
+	}
+	n2, err := CreateOrder(web, dom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n+1 {
+		t.Fatalf("second order = %d, want %d", n2, n+1)
+	}
+}
+
+func TestCreateOrderDeadStore(t *testing.T) {
+	web, _, _ := buildStore(t)
+	if _, err := CreateOrder(web, "gone.example.com", 0); !errors.Is(err, ErrNoOrderNumber) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateOrderSeizedStore(t *testing.T) {
+	web, _, dom := buildStore(t)
+	web.Register(dom, &simweb.SeizureNoticeSite{
+		Firm: "GBC", CaseID: "14-cv-1", Domains: []string{dom},
+		Gen: htmlgen.New(rng.New(1)),
+	})
+	if _, err := CreateOrder(web, dom, 0); !errors.Is(err, ErrNoOrderNumber) {
+		t.Fatalf("seized store must fail purchase-pair: %v", err)
+	}
+}
+
+func TestSeriesRatesInterpolation(t *testing.T) {
+	s := &Series{StoreID: "x"}
+	s.Append(0, 1000)
+	s.Append(10, 1100) // 10/day for days 0..9
+	s.Append(20, 1100) // 0/day for days 10..19
+	rates := s.Rates(30)
+	if math.Abs(rates.At(5)-10) > 1e-9 {
+		t.Fatalf("rate day 5 = %v, want 10", rates.At(5))
+	}
+	if rates.At(15) != 0 {
+		t.Fatalf("rate day 15 = %v, want 0", rates.At(15))
+	}
+	if rates.At(25) != 0 {
+		t.Fatal("rates outside sample span must be 0")
+	}
+	if got := s.TotalDelta(); got != 100 {
+		t.Fatalf("total delta = %d", got)
+	}
+	vol := s.Volume(30)
+	if math.Abs(vol.At(29)-100) > 1e-9 {
+		t.Fatalf("final volume = %v, want 100", vol.At(29))
+	}
+}
+
+func TestSeriesClampNegativeDeltas(t *testing.T) {
+	s := &Series{}
+	s.Append(0, 5000)
+	s.Append(7, 1000) // counter reset
+	rates := s.Rates(10)
+	for d := 0; d < 10; d++ {
+		if rates.At(d) < 0 {
+			t.Fatal("negative rate")
+		}
+	}
+}
+
+func TestSeriesTooFewSamples(t *testing.T) {
+	s := &Series{}
+	if s.TotalDelta() != 0 {
+		t.Fatal("empty series delta")
+	}
+	s.Append(3, 10)
+	if s.TotalDelta() != 0 || s.Rates(10).Sum() != 0 {
+		t.Fatal("single sample must yield no estimates")
+	}
+}
+
+func TestSamplerWeeklyCadence(t *testing.T) {
+	web, _, dom := buildStore(t)
+	sm := NewSampler(web)
+	targets := []Target{{
+		StoreID: "vera-s000", CampaignKey: "vera",
+		Domain: func(simclock.Day) string { return dom },
+	}}
+	for d := simclock.Day(0); d < 30; d++ {
+		sm.Visit(d, targets)
+	}
+	s := sm.Series("vera-s000")
+	if s == nil {
+		t.Fatal("no samples")
+	}
+	// 30 days at a 7-day interval: samples on days 0,7,14,21,28.
+	if len(s.Samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(s.Samples))
+	}
+	for i := 1; i < len(s.Samples); i++ {
+		if gap := int(s.Samples[i].Day - s.Samples[i-1].Day); gap != 7 {
+			t.Fatalf("gap = %d days", gap)
+		}
+		if s.Samples[i].OrderNo <= s.Samples[i-1].OrderNo {
+			t.Fatal("sampled numbers must increase (our own orders count)")
+		}
+	}
+}
+
+func TestSamplerPerCampaignDailyCap(t *testing.T) {
+	web, _, dom := buildStore(t)
+	sm := NewSampler(web)
+	var targets []Target
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i))
+		targets = append(targets, Target{
+			StoreID: id, CampaignKey: "vera",
+			Domain: func(simclock.Day) string { return dom },
+		})
+	}
+	created := sm.Visit(0, targets)
+	if created != 3 {
+		t.Fatalf("created %d orders on day 0, cap is 3", created)
+	}
+	// Next day the cap resets and the remaining stores get their turn.
+	if got := sm.Visit(1, targets); got != 3 {
+		t.Fatalf("day 1 created %d", got)
+	}
+}
+
+func TestSamplerSkipsDarkStores(t *testing.T) {
+	web, _, _ := buildStore(t)
+	sm := NewSampler(web)
+	targets := []Target{{
+		StoreID: "dead", CampaignKey: "x",
+		Domain: func(simclock.Day) string { return "" },
+	}}
+	if sm.Visit(0, targets) != 0 {
+		t.Fatal("dark store must not be sampled")
+	}
+	if sm.Failed != 0 {
+		t.Fatal("dark store should be skipped, not counted as failure")
+	}
+}
+
+func TestSamplerCountsFailures(t *testing.T) {
+	web, _, _ := buildStore(t)
+	sm := NewSampler(web)
+	targets := []Target{{
+		StoreID: "gone", CampaignKey: "x",
+		Domain: func(simclock.Day) string { return "gone.example.com" },
+	}}
+	sm.Visit(0, targets)
+	if sm.Failed != 1 || sm.Created != 0 {
+		t.Fatalf("failed=%d created=%d", sm.Failed, sm.Created)
+	}
+}
+
+func TestPurchasePairEstimatesCustomerRate(t *testing.T) {
+	// End to end: customers create orders between our weekly samples; the
+	// estimated rate must track the customer rate plus our own probes.
+	web, st, dom := buildStore(t)
+	sm := NewSampler(web)
+	targets := []Target{{
+		StoreID: st.ID(), CampaignKey: "vera",
+		Domain: func(simclock.Day) string { return dom },
+	}}
+	const customerPerDay = 12
+	for d := simclock.Day(0); d < 43; d++ {
+		sm.Visit(d, targets)
+		st.RecordDay(d, 1800, 10000, customerPerDay, nil)
+	}
+	s := sm.Series(st.ID())
+	rates := s.Rates(43)
+	// Average estimated rate over the sampled span.
+	var sum float64
+	var n int
+	for d := 0; d < 42; d++ {
+		if rates.At(d) > 0 {
+			sum += rates.At(d)
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < customerPerDay || avg > customerPerDay+2 {
+		t.Fatalf("estimated rate = %v, want ~%d (upper bound incl. probes)", avg, customerPerDay)
+	}
+}

@@ -1,0 +1,267 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("got %d identical draws from different seeds", same)
+	}
+}
+
+func TestSubstreamIndependence(t *testing.T) {
+	root := New(7)
+	s1 := root.Sub("crawler")
+	// Drawing from the parent must not shift the substream.
+	root.Uint64()
+	root.Uint64()
+	s2 := New(7).Sub("crawler")
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("substream depends on parent position (draw %d)", i)
+		}
+	}
+	if New(7).Sub("a").Uint64() == New(7).Sub("b").Uint64() {
+		t.Fatal("differently named substreams produced the same first draw")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%17
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	var sum, sumsq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		r := New(19)
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.1 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := New(1)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+	if v := r.Poisson(-3); v != 0 {
+		t.Fatalf("Poisson(-3) = %d", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(23)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[r.Zipf(10, 1.2)]++
+	}
+	if counts[0] <= counts[5] || counts[0] <= counts[9] {
+		t.Fatalf("zipf not skewed toward low indices: %v", counts)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("zipf index %d never drawn", i)
+		}
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	r := New(29)
+	if v := r.Zipf(1, 1.0); v != 0 {
+		t.Fatalf("Zipf(1) = %d", v)
+	}
+	if v := r.Zipf(0, 1.0); v != 0 {
+		t.Fatalf("Zipf(0) = %d", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	r := New(31)
+	counts := make([]int, 3)
+	w := []float64{1, 0, 9}
+	for i := 0; i < 20000; i++ {
+		counts[r.WeightedPick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 7 || ratio > 11 {
+		t.Fatalf("weight ratio = %v, want ~9", ratio)
+	}
+}
+
+func TestWeightedPickAllZero(t *testing.T) {
+	r := New(37)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.WeightedPick([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("all-zero weights should fall back to uniform, saw %v", seen)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if v := r.IntRange(4, 4); v != 4 {
+		t.Fatalf("IntRange(4,4) = %d", v)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(1, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(47)
+	items := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, items)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick never returned some element: %v", seen)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(53)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), v...)
+	r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v", v)
+	}
+	_ = orig
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(12)
+	}
+}

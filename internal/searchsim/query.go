@@ -1,0 +1,146 @@
+package searchsim
+
+import (
+	"repro/internal/brands"
+	"repro/internal/simclock"
+)
+
+// Day returns the day the engine last advanced to.
+func (e *Engine) Day() simclock.Day {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.day
+}
+
+// Terms returns the monitored terms for a vertical.
+func (e *Engine) Terms(v brands.Vertical) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.verticals[v].terms...)
+}
+
+// SERP returns a copy of the current result list for (vertical, term index).
+func (e *Engine) SERP(v brands.Vertical, termIdx int) []Slot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	vs := e.verticals[v]
+	if termIdx < 0 || termIdx >= len(vs.serps) {
+		return nil
+	}
+	out := append([]Slot(nil), vs.serps[termIdx].slots...)
+	for i := range out {
+		out[i].Rank = i
+	}
+	return out
+}
+
+// EachSlot visits every current slot of a vertical in (term, rank) order.
+// The callback must not retain the slot pointer.
+func (e *Engine) EachSlot(v brands.Vertical, fn func(termIdx, rank int, s *Slot)) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	vs := e.verticals[v]
+	for ti, sp := range vs.serps {
+		for rank := range sp.slots {
+			s := sp.slots[rank]
+			s.Rank = rank
+			fn(ti, rank, &s)
+		}
+	}
+}
+
+// Demote removes a doorway domain from all results and blocks reinsertion —
+// the search engine's strongest lever (§5.2.1).
+func (e *Engine) Demote(domain string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.demoted[domain] = true
+	// Slots are expelled on the next Advance; expel eagerly so the effect
+	// is visible the same day.
+	for _, vs := range e.verticals {
+		for ti, sp := range vs.serps {
+			for idx := range sp.slots {
+				if sp.slots[idx].Poisoned() && sp.slots[idx].Domain == domain {
+					e.replaceWithBenign(vs, ti, sp, idx)
+				}
+			}
+		}
+	}
+}
+
+// Demoted reports whether a domain has been demoted.
+func (e *Engine) Demoted(domain string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.demoted[domain]
+}
+
+// Label applies the "This site may be hacked" warning to a doorway domain
+// starting on day d. Per Google's policy the label appears only on results
+// whose URL is the site root (§5.2.2); deep-page results for the same
+// domain remain unlabeled.
+func (e *Engine) Label(domain string, d simclock.Day) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.labeled[domain]; dup {
+		return
+	}
+	e.labeled[domain] = d
+	for _, vs := range e.verticals {
+		for _, sp := range vs.serps {
+			for idx := range sp.slots {
+				s := &sp.slots[idx]
+				if s.Poisoned() && s.Domain == domain && s.Root {
+					s.Labeled = true
+				}
+			}
+		}
+	}
+}
+
+// LabeledOn returns the day a domain was labeled, if it was.
+func (e *Engine) LabeledOn(domain string) (simclock.Day, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.labeled[domain]
+	return d, ok
+}
+
+// ChurnToday returns (newly seen domains, total slots) for the last
+// Advance, the §4.1.2 churn statistic.
+func (e *Engine) ChurnToday() (newDomains, totalSlots int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.newToday, e.slotsToday
+}
+
+// PoisonedCounts summarises a vertical's current poisoning: the number of
+// poisoned slots in the top 10 and in the full top N, and the totals.
+type PoisonedCounts struct {
+	Top10Poisoned  int
+	Top10Slots     int
+	TopNPoisoned   int
+	TopNSlots      int
+	LabeledResults int
+}
+
+// CountPoisoned tallies the vertical's current poisoning levels.
+func (e *Engine) CountPoisoned(v brands.Vertical) PoisonedCounts {
+	var pc PoisonedCounts
+	e.EachSlot(v, func(_, rank int, s *Slot) {
+		pc.TopNSlots++
+		if rank < 10 {
+			pc.Top10Slots++
+		}
+		if s.Poisoned() {
+			pc.TopNPoisoned++
+			if rank < 10 {
+				pc.Top10Poisoned++
+			}
+			if s.Labeled {
+				pc.LabeledResults++
+			}
+		}
+	})
+	return pc
+}

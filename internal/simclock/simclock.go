@@ -1,0 +1,87 @@
+// Package simclock provides the simulation calendar. The simulation is
+// driven by integer day indices relative to a study window; this package
+// converts between day indices and civil dates and defines the windows used
+// by the paper.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Day is a day index relative to a Window's start (day 0 is the first day).
+type Day int
+
+// Window is an inclusive range of civil dates over which a study runs.
+type Window struct {
+	Start time.Time // midnight UTC of the first day
+	End   time.Time // midnight UTC of the last day (inclusive)
+}
+
+// StudyWindow is the paper's crawl window: 2013-11-13 through 2014-07-15
+// (eight months, 245 days).
+func StudyWindow() Window {
+	return Window{
+		Start: date(2013, time.November, 13),
+		End:   date(2014, time.July, 15),
+	}
+}
+
+// ExtendedWindow covers the study window plus the Figure 5 case-study tail
+// that runs to 2014-08-31.
+func ExtendedWindow() Window {
+	return Window{
+		Start: date(2013, time.November, 13),
+		End:   date(2014, time.August, 31),
+	}
+}
+
+// SeizureWindow is the broader window over which court cases are visible in
+// the paper's seizure dataset (February 2012 – July 2014).
+func SeizureWindow() Window {
+	return Window{
+		Start: date(2012, time.February, 1),
+		End:   date(2014, time.July, 15),
+	}
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Days returns the number of days in the window, inclusive of both ends.
+func (w Window) Days() int {
+	return int(w.End.Sub(w.Start).Hours()/24) + 1
+}
+
+// Date returns the civil date of day index d.
+func (w Window) Date(d Day) time.Time {
+	return w.Start.AddDate(0, 0, int(d))
+}
+
+// DayOf returns the day index of date t, which may lie outside the window
+// (yielding a negative index or one >= Days()).
+func (w Window) DayOf(t time.Time) Day {
+	t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	return Day(int(t.Sub(w.Start).Hours() / 24))
+}
+
+// Contains reports whether day index d falls inside the window.
+func (w Window) Contains(d Day) bool { return d >= 0 && int(d) < w.Days() }
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	return fmt.Sprintf("%s..%s (%d days)",
+		w.Start.Format("2006-01-02"), w.End.Format("2006-01-02"), w.Days())
+}
+
+// MustDay returns the day index of the given civil date within w and panics
+// if it falls outside the window. It is intended for scenario constants
+// whose validity is a programming invariant.
+func (w Window) MustDay(y int, m time.Month, d int) Day {
+	day := w.DayOf(date(y, m, d))
+	if !w.Contains(day) {
+		panic(fmt.Sprintf("simclock: %04d-%02d-%02d outside %s", y, m, d, w))
+	}
+	return day
+}

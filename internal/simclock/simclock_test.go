@@ -1,0 +1,102 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStudyWindowDays(t *testing.T) {
+	w := StudyWindow()
+	if got := w.Days(); got != 245 {
+		t.Fatalf("study window has %d days, want 245", got)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	w := StudyWindow()
+	for d := Day(0); int(d) < w.Days(); d++ {
+		if back := w.DayOf(w.Date(d)); back != d {
+			t.Fatalf("round trip failed at day %d: got %d", d, back)
+		}
+	}
+}
+
+func TestDayZeroIsStart(t *testing.T) {
+	w := StudyWindow()
+	if !w.Date(0).Equal(w.Start) {
+		t.Fatalf("day 0 = %v, want %v", w.Date(0), w.Start)
+	}
+}
+
+func TestDayOfIgnoresTimeOfDay(t *testing.T) {
+	w := StudyWindow()
+	noon := w.Start.Add(12 * time.Hour)
+	if got := w.DayOf(noon); got != 0 {
+		t.Fatalf("noon of start day = day %d, want 0", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	w := StudyWindow()
+	cases := []struct {
+		d    Day
+		want bool
+	}{{-1, false}, {0, true}, {244, true}, {245, false}}
+	for _, c := range cases {
+		if got := w.Contains(c.d); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestKnownDates(t *testing.T) {
+	w := StudyWindow()
+	// December 1, 2013 is day 18 (Nov 13 is day 0, Nov 30 is day 17).
+	d := w.DayOf(time.Date(2013, time.December, 1, 0, 0, 0, 0, time.UTC))
+	if d != 18 {
+		t.Fatalf("2013-12-01 = day %d, want 18", d)
+	}
+	// The final day must be 2014-07-15.
+	if got := w.Date(244); got.Format("2006-01-02") != "2014-07-15" {
+		t.Fatalf("day 244 = %s", got.Format("2006-01-02"))
+	}
+}
+
+func TestExtendedWindowCoversFigure5(t *testing.T) {
+	w := ExtendedWindow()
+	aug := time.Date(2014, time.August, 31, 0, 0, 0, 0, time.UTC)
+	if !w.Contains(w.DayOf(aug)) {
+		t.Fatal("extended window must include 2014-08-31")
+	}
+	if w.Days() <= StudyWindow().Days() {
+		t.Fatal("extended window must be longer than the study window")
+	}
+}
+
+func TestSeizureWindowPrecedesStudy(t *testing.T) {
+	sw, st := SeizureWindow(), StudyWindow()
+	if !sw.Start.Before(st.Start) {
+		t.Fatal("seizure window must start before the study window")
+	}
+}
+
+func TestMustDay(t *testing.T) {
+	w := StudyWindow()
+	if d := w.MustDay(2014, time.February, 9); w.Date(d).Format("01-02") != "02-09" {
+		t.Fatalf("MustDay mismatch: %v", w.Date(d))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDay outside window did not panic")
+		}
+	}()
+	w.MustDay(2012, time.January, 1)
+}
+
+func TestWindowString(t *testing.T) {
+	got := StudyWindow().String()
+	want := "2013-11-13..2014-07-15 (245 days)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

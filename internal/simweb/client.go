@@ -1,0 +1,101 @@
+package simweb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// HTTPFetcher is the socket-side counterpart of (*Web).ServeHTTP: it
+// implements Fetcher by issuing real HTTP requests to a server exposing a
+// simulated web, carrying the simulated host in the simhost query parameter
+// and the simulation day in DayHeader. It lets the identical crawler code
+// run in-process or across a network.
+type HTTPFetcher struct {
+	// Base is the real server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client defaults to a non-redirect-following client: redirect
+	// semantics belong to FetchFollow, exactly as in-process.
+	Client *http.Client
+}
+
+// NewHTTPFetcher returns a fetcher for a server at base.
+func NewHTTPFetcher(base string) *HTTPFetcher {
+	return &HTTPFetcher{
+		Base: base,
+		Client: &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+	}
+}
+
+// Fetch implements Fetcher over the wire.
+func (f *HTTPFetcher) Fetch(req Request) Response {
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Host == "" {
+		return Response{Status: 400, Body: "bad request"}
+	}
+	q := url.Values{}
+	q.Set("simhost", u.Hostname())
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	if u.RawQuery != "" {
+		path += "?" + u.RawQuery
+	}
+	q.Set("u", path)
+	hreq, err := http.NewRequest("GET", f.Base+"/?"+q.Encode(), nil)
+	if err != nil {
+		return Response{Status: 400, Body: err.Error()}
+	}
+	hreq.Header.Set("User-Agent", req.UserAgent)
+	if req.Referrer != "" {
+		hreq.Header.Set("Referer", req.Referrer)
+	}
+	hreq.Header.Set(DayHeader, strconv.Itoa(int(req.Day)))
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return Response{Status: 502, Body: fmt.Sprintf("fetch error: %v", err)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return Response{Status: 502, Body: fmt.Sprintf("read error: %v", err)}
+	}
+	out := Response{
+		Status:   resp.StatusCode,
+		Body:     string(body),
+		Location: resp.Header.Get("Location"),
+		Cookies:  resp.Header.Values("Set-Cookie"),
+	}
+	return out
+}
+
+// FetchFollow implements Fetcher, following up to maxHops redirects while
+// preserving the original referrer, mirroring (*Web).FetchFollow.
+func (f *HTTPFetcher) FetchFollow(req Request, maxHops int) (Response, string) {
+	cur := req
+	for hop := 0; ; hop++ {
+		resp := f.Fetch(cur)
+		if resp.Status < 300 || resp.Status >= 400 || resp.Location == "" || hop >= maxHops {
+			return resp, cur.URL
+		}
+		cur = Request{
+			URL:       resolveURL(cur.URL, resp.Location),
+			UserAgent: cur.UserAgent,
+			Referrer:  cur.Referrer,
+			Day:       cur.Day,
+		}
+	}
+}
+
+var _ Fetcher = (*HTTPFetcher)(nil)

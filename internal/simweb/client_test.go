@@ -1,0 +1,88 @@
+package simweb
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// dayEchoSite proves the simulation day crosses the wire.
+type dayEchoSite struct{}
+
+func (dayEchoSite) Serve(req Request) Response {
+	return Response{Status: 200, Body: "day=" + strings.Repeat("x", int(req.Day))}
+}
+
+func TestHTTPFetcherRoundTrip(t *testing.T) {
+	f := buildFixture(t)
+	st, storeDom := f.mountStore(t, "KEY")
+	_, doorDom := f.mountDoorway(t, "KEY", false, "http://"+storeDom+"/")
+	_ = st
+
+	srv := httptest.NewServer(f.web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+
+	// Crawler view over the wire.
+	crawler := hf.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: CrawlerUA})
+	if crawler.Status != 200 || !strings.Contains(crawler.Body, "cheap brand goods") {
+		t.Fatalf("crawler over wire: %d", crawler.Status)
+	}
+
+	// User view: 302 with Location (not auto-followed).
+	user := hf.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA,
+		Referrer: SearchReferrer})
+	if user.Status != 302 || !strings.Contains(user.Location, storeDom) {
+		t.Fatalf("user over wire: %d %q", user.Status, user.Location)
+	}
+
+	// FetchFollow lands on the store and carries cookies.
+	final, finalURL := hf.FetchFollow(Request{URL: "http://" + doorDom + "/",
+		UserAgent: BrowserUA, Referrer: SearchReferrer}, 5)
+	if final.Status != 200 || !strings.Contains(finalURL, storeDom) {
+		t.Fatalf("follow over wire: %d %q", final.Status, finalURL)
+	}
+	if len(final.Cookies) == 0 {
+		t.Fatal("cookies lost over the wire")
+	}
+	if !strings.Contains(strings.ToLower(final.Body), "checkout") {
+		t.Fatal("store body lost over the wire")
+	}
+}
+
+func TestHTTPFetcherCarriesDay(t *testing.T) {
+	web := NewWeb()
+	web.Register("echo.example", dayEchoSite{})
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+	resp := hf.Fetch(Request{URL: "http://echo.example/", Day: simclock.Day(7)})
+	if resp.Body != "day="+strings.Repeat("x", 7) {
+		t.Fatalf("day not carried: %q", resp.Body)
+	}
+}
+
+func TestHTTPFetcherPreservesQuery(t *testing.T) {
+	f := buildFixture(t)
+	st, storeDom := f.mountStore(t, "VERA")
+	_ = st
+	srv := httptest.NewServer(f.web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+	resp := hf.Fetch(Request{URL: "http://" + storeDom + "/order/new?x=1", UserAgent: BrowserUA})
+	if resp.Status != 200 || !strings.Contains(resp.Body, "Order No.") {
+		t.Fatalf("order over wire: %d", resp.Status)
+	}
+}
+
+func TestHTTPFetcherBadInputs(t *testing.T) {
+	hf := NewHTTPFetcher("http://127.0.0.1:1") // nothing listening
+	if resp := hf.Fetch(Request{URL: "::bad::"}); resp.Status != 400 {
+		t.Fatalf("bad url status = %d", resp.Status)
+	}
+	if resp := hf.Fetch(Request{URL: "http://x.example/"}); resp.Status != 502 {
+		t.Fatalf("dead server status = %d", resp.Status)
+	}
+}

@@ -1,0 +1,368 @@
+package simweb
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/htmlgen"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+type fixture struct {
+	web  *Web
+	gen  *htmlgen.Generator
+	deps []*campaign.Deployment
+}
+
+func findDep(deps []*campaign.Deployment, name string) *campaign.Deployment {
+	for _, d := range deps {
+		if d.Spec.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// buildFixture wires a tiny web: one doorway per cloaking mode and one store.
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	r := rng.New(11)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.01)
+	gen := htmlgen.New(r)
+	f := &fixture{web: NewWeb(), gen: gen, deps: deps}
+	return f
+}
+
+func (f *fixture) mountStore(t *testing.T, depName string) (*store.Store, string) {
+	t.Helper()
+	dep := findDep(f.deps, depName)
+	if dep == nil {
+		t.Fatalf("deployment %s missing", depName)
+	}
+	st := store.New(dep.Stores[0], rng.New(5), 245)
+	site := &StoreSite{Store: st, Gen: f.gen, Window: simclock.StudyWindow()}
+	dom := dep.Stores[0].Domains[0]
+	f.web.Register(dom, site)
+	return st, dom
+}
+
+func (f *fixture) mountDoorway(t *testing.T, depName string, js bool, target string) (*campaign.Doorway, string) {
+	t.Helper()
+	dep := findDep(f.deps, depName)
+	if dep == nil {
+		t.Fatalf("deployment %s missing", depName)
+	}
+	dw := dep.Doorways[0]
+	site := &DoorwaySite{
+		Doorway:    dw,
+		Gen:        f.gen,
+		Terms:      []string{"cheap brand goods", "brand outlet online"},
+		Resolve:    func(simclock.Day) string { return target },
+		JSRedirect: js,
+	}
+	f.web.Register(dw.Domain, site)
+	return dw, dw.Domain
+}
+
+func TestRedirectCloakingSemantics(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "KEY")
+	_, doorDom := f.mountDoorway(t, "KEY", false, "http://"+storeDom+"/")
+
+	// Crawler sees keyword-stuffed content.
+	crawler := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: CrawlerUA})
+	if crawler.Status != 200 || !strings.Contains(crawler.Body, "cheap brand goods") {
+		t.Fatalf("crawler view wrong: %d", crawler.Status)
+	}
+	// Search click-through is redirected to the store.
+	user := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA,
+		Referrer: SearchReferrer + "?q=cheap+brand+goods"})
+	if user.Status != 302 || user.Location != "http://"+storeDom+"/" {
+		t.Fatalf("search user not redirected: %+v", user)
+	}
+	// Direct visitors see the original compromised-site content.
+	direct := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA})
+	if direct.Status != 200 || strings.Contains(strings.ToLower(direct.Body), "checkout") {
+		t.Fatalf("direct visitor must see original content")
+	}
+	if direct.Body == crawler.Body {
+		t.Fatal("direct view must differ from crawler view")
+	}
+}
+
+func TestJSRedirectVariant(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "NEWSORG")
+	_, doorDom := f.mountDoorway(t, "NEWSORG", true, "http://"+storeDom+"/")
+	user := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA,
+		Referrer: SearchReferrer})
+	if user.Status != 200 {
+		t.Fatalf("JS redirect must serve 200, got %d", user.Status)
+	}
+	if !strings.Contains(user.Body, "<script") {
+		t.Fatal("JS redirect page must carry a script")
+	}
+}
+
+func TestIframeCloakingServesSameDocToAll(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "MOONKIS")
+	_, doorDom := f.mountDoorway(t, "MOONKIS", false, "http://"+storeDom+"/")
+	crawler := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: CrawlerUA})
+	user := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA,
+		Referrer: SearchReferrer})
+	if crawler.Body != user.Body {
+		t.Fatal("iframe cloaking must serve identical documents")
+	}
+	if crawler.Status != 200 || user.Status != 200 {
+		t.Fatal("iframe cloaking never redirects")
+	}
+	if !strings.Contains(user.Body, "<script") {
+		t.Fatal("iframe payload missing")
+	}
+}
+
+func TestUserAgentCloakingRedirectsEveryNonCrawler(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "NORTHFACEC")
+	_, doorDom := f.mountDoorway(t, "NORTHFACEC", false, "http://"+storeDom+"/")
+	// Even a referrer-less visitor is redirected.
+	direct := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA})
+	if direct.Status != 302 {
+		t.Fatalf("UA cloaking must redirect non-crawlers: %+v", direct.Status)
+	}
+	crawler := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: CrawlerUA})
+	if crawler.Status != 200 {
+		t.Fatal("crawler must get content")
+	}
+}
+
+func TestStoreSiteLandingAndCookies(t *testing.T) {
+	f := buildFixture(t)
+	st, dom := f.mountStore(t, "MSVALIDATE")
+	resp := f.web.Fetch(Request{URL: "http://" + dom + "/", UserAgent: BrowserUA})
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	low := strings.ToLower(resp.Body)
+	if !strings.Contains(low, "cart") || !strings.Contains(low, "checkout") {
+		t.Fatal("store landing page lacks cart/checkout")
+	}
+	var hasPlatform, hasProcessor bool
+	for _, c := range resp.Cookies {
+		if strings.HasPrefix(c, "zenid=") || strings.HasPrefix(c, "frontend=") {
+			hasPlatform = true
+		}
+		if strings.Contains(c, st.Processor.Name+"_session=") {
+			hasProcessor = true
+		}
+	}
+	if !hasPlatform || !hasProcessor {
+		t.Fatalf("detection cookies missing: %v", resp.Cookies)
+	}
+}
+
+func TestStoreOrderEndpointMonotone(t *testing.T) {
+	f := buildFixture(t)
+	_, dom := f.mountStore(t, "VERA")
+	extract := func() int64 {
+		resp := f.web.Fetch(Request{URL: "http://" + dom + "/order/new", UserAgent: BrowserUA})
+		var n int64
+		idx := strings.Index(resp.Body, "Order No. ")
+		if idx < 0 {
+			t.Fatalf("no order number in %q", resp.Body)
+		}
+		rest := resp.Body[idx+len("Order No. "):]
+		for _, c := range rest {
+			if c < '0' || c > '9' {
+				break
+			}
+			n = n*10 + int64(c-'0')
+		}
+		return n
+	}
+	a, b := extract(), extract()
+	if b != a+1 {
+		t.Fatalf("order numbers not sequential: %d then %d", a, b)
+	}
+}
+
+func TestAWStatsExposure(t *testing.T) {
+	f := buildFixture(t)
+	st, dom := f.mountStore(t, "BIGLOVE")
+	st.RecordDay(0, 50, 280, 2, map[string]int{"door.com": 30})
+	resp := f.web.Fetch(Request{URL: "http://" + dom + "/awstats/awstats.pl?config=" + dom,
+		UserAgent: BrowserUA})
+	if st.AWStatsPublic {
+		if resp.Status != 200 || !strings.Contains(resp.Body, "AWStats") {
+			t.Fatalf("public AWStats not served: %d", resp.Status)
+		}
+	} else if resp.Status != 403 {
+		t.Fatalf("private AWStats must 403, got %d", resp.Status)
+	}
+}
+
+func TestSeizureNoticeTakeover(t *testing.T) {
+	f := buildFixture(t)
+	_, dom := f.mountStore(t, "PHP?P=")
+	f.web.Register(dom, &SeizureNoticeSite{
+		Firm: "Greer, Burns & Crain", CaseID: "14-cv-00099",
+		Domains: []string{dom}, Gen: f.gen,
+	})
+	resp := f.web.Fetch(Request{URL: "http://" + dom + "/any/path", UserAgent: BrowserUA})
+	if !strings.Contains(resp.Body, "14-cv-00099") {
+		t.Fatal("seized domain must serve the notice on every path")
+	}
+}
+
+func TestFetchFollowChain(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "KEY")
+	_, doorDom := f.mountDoorway(t, "KEY", false, "http://"+storeDom+"/")
+	resp, finalURL := f.web.FetchFollow(Request{
+		URL: "http://" + doorDom + "/?key=cheap+goods", UserAgent: BrowserUA,
+		Referrer: SearchReferrer}, 5)
+	if resp.Status != 200 {
+		t.Fatalf("final status = %d", resp.Status)
+	}
+	if !strings.Contains(finalURL, storeDom) {
+		t.Fatalf("final URL = %q, want store", finalURL)
+	}
+	if !strings.Contains(strings.ToLower(resp.Body), "checkout") {
+		t.Fatal("landing page must be the store")
+	}
+}
+
+func TestUnknownHost404(t *testing.T) {
+	f := buildFixture(t)
+	if resp := f.web.Fetch(Request{URL: "http://nosuch.example/"}); resp.Status != 404 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if resp := f.web.Fetch(Request{URL: "::bad::"}); resp.Status != 400 {
+		t.Fatalf("bad URL status = %d", resp.Status)
+	}
+}
+
+func TestServeHTTPOverRealSocket(t *testing.T) {
+	f := buildFixture(t)
+	_, storeDom := f.mountStore(t, "KEY")
+	_, doorDom := f.mountDoorway(t, "KEY", false, "http://"+storeDom+"/")
+
+	srv := httptest.NewServer(f.web)
+	defer srv.Close()
+
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	// Crawler fetch via simhost query routing.
+	req, _ := http.NewRequest("GET", srv.URL+"/?simhost="+doorDom+"&u=/", nil)
+	req.Header.Set("User-Agent", CrawlerUA)
+	req.Header.Set(DayHeader, "3")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "cheap brand goods") {
+		t.Fatalf("crawler over HTTP: %d %q", resp.StatusCode, body[:60])
+	}
+
+	// Search user gets a 302 with Location.
+	req2, _ := http.NewRequest("GET", srv.URL+"/?simhost="+doorDom+"&u=/", nil)
+	req2.Header.Set("User-Agent", BrowserUA)
+	req2.Header.Set("Referer", SearchReferrer)
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 302 {
+		t.Fatalf("user over HTTP: %d", resp2.StatusCode)
+	}
+	if loc := resp2.Header.Get("Location"); !strings.Contains(loc, storeDom) {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	// Store fetch sets cookies over real HTTP.
+	req3, _ := http.NewRequest("GET", srv.URL+"/?simhost="+storeDom+"&u=/", nil)
+	req3.Header.Set("User-Agent", BrowserUA)
+	resp3, err := client.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if len(resp3.Header.Values("Set-Cookie")) == 0 {
+		t.Fatal("no cookies over HTTP")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	w := NewWeb()
+	w.Register("a.com", &StaticSite{Body: "one"})
+	w.Register("a.com", &StaticSite{Body: "two"})
+	if resp := w.Fetch(Request{URL: "http://a.com/"}); resp.Body != "two" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if w.Domains() != 1 {
+		t.Fatalf("domains = %d", w.Domains())
+	}
+}
+
+func TestResolveURLRelative(t *testing.T) {
+	if got := resolveURL("http://a.com/x/y", "/z"); got != "http://a.com/z" {
+		t.Fatalf("resolve = %q", got)
+	}
+	if got := resolveURL("http://a.com/", "http://b.com/q"); got != "http://b.com/q" {
+		t.Fatalf("absolute resolve = %q", got)
+	}
+}
+
+func TestDoorwayWithNoTargetFailsOpen(t *testing.T) {
+	// A doorway whose campaign has gone dark must not 500; users see the
+	// original site.
+	f := buildFixture(t)
+	_, doorDom := f.mountDoorway(t, "KEY", false, "")
+	resp := f.web.Fetch(Request{URL: "http://" + doorDom + "/", UserAgent: BrowserUA,
+		Referrer: SearchReferrer})
+	if resp.Status != 200 {
+		t.Fatalf("dark doorway status = %d", resp.Status)
+	}
+}
+
+func TestStoreOrderEndpointUnderPaymentOutage(t *testing.T) {
+	f := buildFixture(t)
+	st, dom := f.mountStore(t, "JSUS")
+	st.DisableProcessor(100)
+	// Before the outage the checkout works.
+	before := f.web.Fetch(Request{URL: "http://" + dom + "/order/new",
+		UserAgent: BrowserUA, Day: 50})
+	if before.Status != 200 || !strings.Contains(before.Body, "Order No.") {
+		t.Fatalf("pre-outage order failed: %d", before.Status)
+	}
+	// After the outage the site stays up but checkout fails softly.
+	after := f.web.Fetch(Request{URL: "http://" + dom + "/order/new",
+		UserAgent: BrowserUA, Day: 150})
+	if after.Status != 200 || strings.Contains(after.Body, "Order No.") {
+		t.Fatalf("post-outage order should fail softly: %d %q", after.Status, after.Body)
+	}
+	if !strings.Contains(after.Body, "Payment error") {
+		t.Fatal("payment error page missing")
+	}
+	// The landing page itself is unaffected.
+	landing := f.web.Fetch(Request{URL: "http://" + dom + "/",
+		UserAgent: BrowserUA, Day: 150})
+	if landing.Status != 200 || !strings.Contains(strings.ToLower(landing.Body), "cart") {
+		t.Fatal("landing page must survive a payment outage")
+	}
+}

@@ -1,0 +1,271 @@
+// Package store implements counterfeit-storefront runtime state: the
+// monotonically increasing order counters the purchase-pair technique
+// samples, the store's payment-processing identity, its domain history
+// under seizures and rotation, and its per-day analytics.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// Processor is a payment processing bank identity. The paper's transaction
+// probes resolved to three acquiring banks: two in China, one in Korea.
+type Processor struct {
+	Name    string
+	BIN     string // bank identification number prefix
+	Country string
+}
+
+// Processors returns the acquiring banks available to storefronts.
+func Processors() []Processor {
+	return []Processor{
+		{Name: "realypay", BIN: "622848", Country: "CN"},
+		{Name: "mallpayment", BIN: "356895", Country: "CN"},
+		{Name: "globalbill", BIN: "940012", Country: "KR"},
+	}
+}
+
+// Epoch is one span of a store's life on a particular domain.
+type Epoch struct {
+	Domain string
+	From   simclock.Day // first day live on this domain
+}
+
+// Store is the runtime state of one storefront.
+type Store struct {
+	Dep       *campaign.StoreDeployment
+	Processor Processor
+	// AWStatsPublic marks stores that left their analytics pages publicly
+	// readable (the §4.4 data source).
+	AWStatsPublic bool
+
+	// processorDownFrom, when >= 0, is the day the store's acquiring bank
+	// stopped serving it (the payment-level intervention of §4.3.2's
+	// discussion); orders cannot complete from then on.
+	processorDownFrom simclock.Day
+
+	mu        sync.Mutex
+	nextOrder int64
+	epochs    []Epoch
+	seized    map[string]simclock.Day // domain -> seizure day
+	// analytics, indexed by study day.
+	visits    []float64
+	pageViews []float64
+	orders    []float64 // orders created per day (ground truth)
+	referrers map[string]int
+}
+
+// New creates a store live on its first domain from day 0, with an
+// arbitrary starting order number (stores allocate order numbers
+// independently, §3.1.2).
+func New(dep *campaign.StoreDeployment, r *rng.Source, days int) *Store {
+	procs := Processors()
+	sr := r.Sub("store/" + dep.ID)
+	return &Store{
+		Dep:               dep,
+		Processor:         procs[sr.Intn(len(procs))],
+		AWStatsPublic:     sr.Bool(0.1),
+		processorDownFrom: -1,
+		nextOrder:         int64(1000 + sr.Intn(8000)),
+		epochs:            []Epoch{{Domain: dep.Domains[0], From: 0}},
+		seized:            make(map[string]simclock.Day),
+		visits:            make([]float64, days),
+		pageViews:         make([]float64, days),
+		orders:            make([]float64, days),
+		referrers:         make(map[string]int),
+	}
+}
+
+// DisableProcessor marks the store's acquiring bank as unavailable from
+// day d onward.
+func (s *Store) DisableProcessor(d simclock.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.processorDownFrom = d
+}
+
+// PaymentHalted reports whether the store cannot process payments on day d.
+func (s *Store) PaymentHalted(d simclock.Day) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processorDownFrom >= 0 && d >= s.processorDownFrom
+}
+
+// PlaceOrder allocates the next order number. Order numbers are handed out
+// before payment details are collected, so the counter upper-bounds actual
+// purchases — exactly the bias the paper notes for purchase-pair estimates.
+func (s *Store) PlaceOrder() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nextOrder
+	s.nextOrder++
+	return n
+}
+
+// RecordDay adds one simulated day of customer activity: visits, page
+// views, created orders, and referrer attribution. It advances the order
+// counter by the day's order count.
+func (s *Store) RecordDay(d simclock.Day, visits, pages, orders float64, refs map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(d) >= 0 && int(d) < len(s.visits) {
+		s.visits[d] += visits
+		s.pageViews[d] += pages
+		s.orders[d] += orders
+	}
+	s.nextOrder += int64(orders)
+	for dom, n := range refs {
+		s.referrers[dom] += n
+	}
+}
+
+// NextOrderNumber returns the current counter without consuming a number.
+func (s *Store) NextOrderNumber() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextOrder
+}
+
+// CurrentDomain returns the domain the store serves from on day d.
+func (s *Store) CurrentDomain(d simclock.Day) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.currentDomainLocked(d)
+}
+
+func (s *Store) currentDomainLocked(d simclock.Day) string {
+	cur := s.epochs[0].Domain
+	for _, e := range s.epochs {
+		if e.From <= d {
+			cur = e.Domain
+		}
+	}
+	return cur
+}
+
+// Epochs returns a copy of the store's domain history.
+func (s *Store) Epochs() []Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Epoch(nil), s.epochs...)
+}
+
+// MoveToNextDomain advances the store to its next unseized backup domain,
+// effective on day d. It returns the new domain, or "" if the store has
+// exhausted its domain pool (and goes dark).
+func (s *Store) MoveToNextDomain(d simclock.Day) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.currentDomainLocked(d)
+	idx := -1
+	for i, dom := range s.Dep.Domains {
+		if dom == cur {
+			idx = i
+			break
+		}
+	}
+	for j := idx + 1; j < len(s.Dep.Domains); j++ {
+		dom := s.Dep.Domains[j]
+		if _, gone := s.seized[dom]; !gone {
+			s.epochs = append(s.epochs, Epoch{Domain: dom, From: d})
+			return dom
+		}
+	}
+	return ""
+}
+
+// MarkSeized records that a domain of this store was seized on day d.
+func (s *Store) MarkSeized(domain string, d simclock.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seized[domain]; !dup {
+		s.seized[domain] = d
+	}
+}
+
+// SeizedOn returns the seizure day for a domain, if seized.
+func (s *Store) SeizedOn(domain string) (simclock.Day, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.seized[domain]
+	return d, ok
+}
+
+// Dark reports whether the store has no live domain left on day d: its
+// then-current domain is seized (by that day) and no backup remains.
+// Seizures recorded for later days do not count — a post-run query about an
+// earlier day must see the store as it was.
+func (s *Store) Dark(d simclock.Day) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.currentDomainLocked(d)
+	if !s.seizedByLocked(cur, d) {
+		return false
+	}
+	for i, dom := range s.Dep.Domains {
+		if dom == cur {
+			for j := i + 1; j < len(s.Dep.Domains); j++ {
+				if !s.seizedByLocked(s.Dep.Domains[j], d) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SeizedBy reports whether the domain had been seized on or before day d.
+func (s *Store) SeizedBy(domain string, d simclock.Day) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seizedByLocked(domain, d)
+}
+
+func (s *Store) seizedByLocked(domain string, d simclock.Day) bool {
+	sd, ok := s.seized[domain]
+	return ok && sd <= d
+}
+
+// Stats is a read-only snapshot of the store's analytics.
+type Stats struct {
+	Visits    []float64
+	PageViews []float64
+	Orders    []float64
+	Referrers map[string]int
+}
+
+// Snapshot copies the analytics series.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Visits:    append([]float64(nil), s.visits...),
+		PageViews: append([]float64(nil), s.pageViews...),
+		Orders:    append([]float64(nil), s.orders...),
+		Referrers: make(map[string]int, len(s.referrers)),
+	}
+	for k, v := range s.referrers {
+		st.Referrers[k] = v
+	}
+	return st
+}
+
+// OrderSeries returns a copy of the per-day created-order ground truth.
+func (s *Store) OrderSeries() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.orders...)
+}
+
+// ID returns the store's deployment identifier.
+func (s *Store) ID() string { return s.Dep.ID }
+
+// String implements fmt.Stringer.
+func (s *Store) String() string {
+	return fmt.Sprintf("store %s (%s, %s)", s.Dep.ID, s.Dep.Label(), s.Dep.Campaign.Name)
+}

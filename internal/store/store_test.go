@@ -1,0 +1,217 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(rng.New(1), specs, 0.01)
+	for _, d := range deps {
+		if d.Spec.Name == "PHP?P=" {
+			return New(d.Stores[0], rng.New(2), 245)
+		}
+	}
+	t.Fatal("php?p= deployment missing")
+	return nil
+}
+
+func TestOrderNumbersMonotone(t *testing.T) {
+	s := testStore(t)
+	prev := s.PlaceOrder()
+	for i := 0; i < 100; i++ {
+		n := s.PlaceOrder()
+		if n <= prev {
+			t.Fatalf("order numbers not monotone: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestOrderNumbersMonotoneUnderConcurrency(t *testing.T) {
+	s := testStore(t)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	results := make([][]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				results[g] = append(results[g], s.PlaceOrder())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, rs := range results {
+		for _, n := range rs {
+			if seen[n] {
+				t.Fatalf("duplicate order number %d", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("lost order numbers: %d", len(seen))
+	}
+}
+
+func TestRecordDayAdvancesCounter(t *testing.T) {
+	s := testStore(t)
+	before := s.NextOrderNumber()
+	s.RecordDay(3, 100, 560, 7, map[string]int{"door1.com": 60})
+	if got := s.NextOrderNumber(); got != before+7 {
+		t.Fatalf("counter = %d, want %d", got, before+7)
+	}
+	snap := s.Snapshot()
+	if snap.Visits[3] != 100 || snap.PageViews[3] != 560 || snap.Orders[3] != 7 {
+		t.Fatalf("day stats = %+v", snap)
+	}
+	if snap.Referrers["door1.com"] != 60 {
+		t.Fatalf("referrers = %v", snap.Referrers)
+	}
+}
+
+func TestRecordDayOutOfRangeIgnoredButCounterAdvances(t *testing.T) {
+	s := testStore(t)
+	before := s.NextOrderNumber()
+	s.RecordDay(9999, 10, 56, 2, nil)
+	if s.NextOrderNumber() != before+2 {
+		t.Fatal("orders outside window must still advance the counter")
+	}
+}
+
+func TestDomainLifecycle(t *testing.T) {
+	s := testStore(t)
+	d0 := s.CurrentDomain(0)
+	if d0 != s.Dep.Domains[0] {
+		t.Fatalf("initial domain = %q", d0)
+	}
+	s.MarkSeized(d0, 88)
+	next := s.MoveToNextDomain(89)
+	if next != s.Dep.Domains[1] {
+		t.Fatalf("next domain = %q, want %q", next, s.Dep.Domains[1])
+	}
+	if s.CurrentDomain(88) != d0 {
+		t.Fatal("domain history must be day-indexed (before move)")
+	}
+	if s.CurrentDomain(90) != next {
+		t.Fatal("domain history must be day-indexed (after move)")
+	}
+}
+
+func TestMoveSkipsSeizedBackups(t *testing.T) {
+	s := testStore(t)
+	s.MarkSeized(s.Dep.Domains[0], 10)
+	s.MarkSeized(s.Dep.Domains[1], 5) // backup already seized in an earlier sweep
+	next := s.MoveToNextDomain(11)
+	if next != s.Dep.Domains[2] {
+		t.Fatalf("move must skip seized backups: got %q", next)
+	}
+}
+
+func TestDark(t *testing.T) {
+	s := testStore(t)
+	for i, dom := range s.Dep.Domains {
+		s.MarkSeized(dom, simclock.Day(10+i))
+		if i < len(s.Dep.Domains)-1 {
+			s.MoveToNextDomain(simclock.Day(10 + i))
+		}
+	}
+	if !s.Dark(100) {
+		t.Fatal("store with all domains seized must be dark")
+	}
+	if s.MoveToNextDomain(101) != "" {
+		t.Fatal("exhausted store must not find a domain")
+	}
+	fresh := testStore(t)
+	if fresh.Dark(0) {
+		t.Fatal("fresh store must not be dark")
+	}
+}
+
+func TestSeizedOn(t *testing.T) {
+	s := testStore(t)
+	if _, ok := s.SeizedOn(s.Dep.Domains[0]); ok {
+		t.Fatal("unseized domain reported seized")
+	}
+	s.MarkSeized(s.Dep.Domains[0], 42)
+	d, ok := s.SeizedOn(s.Dep.Domains[0])
+	if !ok || d != 42 {
+		t.Fatalf("seized on = %d, %v", d, ok)
+	}
+	// Re-marking must not overwrite the original day.
+	s.MarkSeized(s.Dep.Domains[0], 99)
+	if d, _ := s.SeizedOn(s.Dep.Domains[0]); d != 42 {
+		t.Fatal("duplicate MarkSeized must keep the first day")
+	}
+}
+
+func TestProcessorsThreeBanks(t *testing.T) {
+	ps := Processors()
+	if len(ps) != 3 {
+		t.Fatalf("processors = %d, want 3", len(ps))
+	}
+	countries := map[string]int{}
+	for _, p := range ps {
+		countries[p.Country]++
+		if p.BIN == "" || p.Name == "" {
+			t.Fatalf("incomplete processor %+v", p)
+		}
+	}
+	if countries["CN"] != 2 || countries["KR"] != 1 {
+		t.Fatalf("bank countries = %v, want 2 CN + 1 KR", countries)
+	}
+}
+
+func TestStartingOrderNumbersVary(t *testing.T) {
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(rng.New(1), specs, 0.02)
+	seen := map[int64]int{}
+	r := rng.New(7)
+	var n int
+	for _, dep := range deps {
+		for _, sd := range dep.Stores {
+			s := New(sd, r, 245)
+			seen[s.NextOrderNumber()]++
+			n++
+		}
+	}
+	if len(seen) < n/2 {
+		t.Fatalf("starting order numbers too clustered: %d distinct of %d", len(seen), n)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := testStore(t)
+	s.RecordDay(0, 1, 5, 1, map[string]int{"a": 1})
+	snap := s.Snapshot()
+	snap.Visits[0] = 999
+	snap.Referrers["a"] = 999
+	if s.Snapshot().Visits[0] == 999 || s.Snapshot().Referrers["a"] == 999 {
+		t.Fatal("Snapshot must deep-copy")
+	}
+}
+
+func TestCounterNeverDecreasesProperty(t *testing.T) {
+	s := testStore(t)
+	last := s.NextOrderNumber()
+	check := func(orders uint8) bool {
+		s.RecordDay(1, 0, 0, float64(orders%50), nil)
+		now := s.NextOrderNumber()
+		ok := now >= last
+		last = now
+		return ok
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

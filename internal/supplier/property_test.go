@@ -1,0 +1,56 @@
+package supplier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simweb"
+)
+
+// TestScrapeLosslessProperty: for arbitrary dataset sizes, scraping through
+// the bulk-lookup interface recovers exactly the generated records.
+func TestScrapeLosslessProperty(t *testing.T) {
+	check := func(seed uint64, sizeRaw uint16) bool {
+		size := int(sizeRaw%300) + 1
+		ds := Generate(rng.New(seed), size)
+		web := simweb.NewWeb()
+		web.Register("s.example", NewSite(ds))
+		recs, err := Scrape(web, "s.example")
+		if err != nil || len(recs) != size {
+			return false
+		}
+		want := make(map[int]Record, size)
+		for _, r := range ds.Records {
+			want[r.OrderID] = r
+		}
+		for _, r := range recs {
+			w, ok := want[r.OrderID]
+			if !ok || r.Status != w.Status || r.Country != w.Country {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatusCountsSumProperty: the per-status tallies always partition the
+// dataset.
+func TestStatusCountsSumProperty(t *testing.T) {
+	check := func(seed uint64, sizeRaw uint16) bool {
+		size := int(sizeRaw%2000) + 1
+		ds := Generate(rng.New(seed), size)
+		var sum int
+		for _, n := range ds.ByStatus() {
+			sum += n
+		}
+		return sum == size
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

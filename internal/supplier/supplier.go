@@ -1,0 +1,361 @@
+// Package supplier reproduces the §4.5 supply-side dataset: a fulfilment
+// partner's order-tracking site exposing a scrolling list of fulfilled
+// orders and a bulk lookup interface (20 orders at a time), from which the
+// study scraped nine months of shipping records — delivery outcomes and
+// destination countries for over a quarter million counterfeit shipments.
+package supplier
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simweb"
+)
+
+// Status is a shipment's disposition.
+type Status int
+
+// Shipment dispositions observed in the tracking records.
+const (
+	InTransit Status = iota
+	Delivered
+	SeizedAtSource      // seized by customs at origin (China)
+	SeizedAtDestination // seized by customs at the destination country
+	Returned            // delivered, then returned by the customer
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case InTransit:
+		return "in-transit"
+	case Delivered:
+		return "delivered"
+	case SeizedAtSource:
+		return "seized-at-source"
+	case SeizedAtDestination:
+		return "seized-at-destination"
+	case Returned:
+		return "returned"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ParseStatus inverts String.
+func ParseStatus(s string) (Status, bool) {
+	for st := InTransit; st <= Returned; st++ {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// Record is one shipping record.
+type Record struct {
+	OrderID int
+	Placed  time.Time
+	Status  Status
+	Country string
+}
+
+// Dataset is the supplier's full tracking database.
+type Dataset struct {
+	Records []Record
+}
+
+// Window is the nine months of orders the paper scraped: July 5, 2013
+// through March 28, 2014.
+func Window() (start, end time.Time) {
+	return time.Date(2013, time.July, 5, 0, 0, 0, 0, time.UTC),
+		time.Date(2014, time.March, 28, 0, 0, 0, 0, time.UTC)
+}
+
+// countryDist reproduces the destination mix: US, Japan and Australia are
+// the top three (90K/57K/39K of 279K) and Western Europe adds 41K, so the
+// four regions cover over 81% of orders.
+var countryDist = []struct {
+	country string
+	weight  float64
+}{
+	{"US", 0.3226}, {"JP", 0.2043}, {"AU", 0.1398},
+	{"DE", 0.0490}, {"GB", 0.0441}, {"FR", 0.0294}, {"IT", 0.0147},
+	{"NL", 0.0098}, // Western Europe sums to ≈ 14.7%
+	{"CA", 0.0500}, {"BR", 0.0300}, {"RU", 0.0250}, {"KR", 0.0200},
+	{"MX", 0.0150}, {"SG", 0.0463},
+}
+
+// WesternEurope lists the countries the paper's 41K figure aggregates.
+var WesternEurope = map[string]bool{
+	"DE": true, "GB": true, "FR": true, "IT": true, "NL": true,
+	"ES": true, "BE": true, "AT": true, "CH": true,
+}
+
+// statusDist reproduces the disposition mix: of 279K records, 256K
+// delivered, 4K seized at the source, 15K seized at the destination; 1,319
+// of the delivered were returned; a small remainder still in transit.
+var statusDist = []struct {
+	status Status
+	weight float64
+}{
+	{Delivered, 0.9129},
+	{SeizedAtDestination, 0.0538},
+	{SeizedAtSource, 0.0143},
+	{Returned, 0.0047},
+	{InTransit, 0.0143},
+}
+
+// Generate synthesises n records across the scrape window.
+func Generate(r *rng.Source, n int) *Dataset {
+	sr := r.Sub("supplier")
+	start, end := Window()
+	span := int(end.Sub(start).Hours() / 24)
+	cw := make([]float64, len(countryDist))
+	for i, c := range countryDist {
+		cw[i] = c.weight
+	}
+	sw := make([]float64, len(statusDist))
+	for i, s := range statusDist {
+		sw[i] = s.weight
+	}
+	ds := &Dataset{Records: make([]Record, 0, n)}
+	for i := 0; i < n; i++ {
+		// Order volume grows over the window (business is brisk).
+		dayFrac := sr.Float64()
+		dayFrac = dayFrac * dayFrac // skew toward the end
+		day := int(dayFrac * float64(span))
+		ds.Records = append(ds.Records, Record{
+			OrderID: 500000 + i,
+			Placed:  start.AddDate(0, 0, day),
+			Status:  statusDist[sr.WeightedPick(sw)].status,
+			Country: countryDist[sr.WeightedPick(cw)].country,
+		})
+	}
+	return ds
+}
+
+// ByStatus tallies records per disposition.
+func (ds *Dataset) ByStatus() map[Status]int {
+	out := make(map[Status]int)
+	for _, r := range ds.Records {
+		out[r.Status]++
+	}
+	return out
+}
+
+// ByCountry tallies records per destination.
+func (ds *Dataset) ByCountry() map[string]int {
+	out := make(map[string]int)
+	for _, r := range ds.Records {
+		out[r.Country]++
+	}
+	return out
+}
+
+// TopRegionsShare returns the fraction of orders destined for the US,
+// Japan, Australia and Western Europe — the paper's 81% headline.
+func (ds *Dataset) TopRegionsShare() float64 {
+	if len(ds.Records) == 0 {
+		return 0
+	}
+	var n int
+	for _, r := range ds.Records {
+		if r.Country == "US" || r.Country == "JP" || r.Country == "AU" || WesternEurope[r.Country] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ds.Records))
+}
+
+// DeliveredSuccessfully counts orders that reached their destination and
+// stayed there.
+func (ds *Dataset) DeliveredSuccessfully() int {
+	return ds.ByStatus()[Delivered]
+}
+
+// Site serves the tracking records the way the real supplier did: a
+// scrolling list page advertising the order-id range, and a bulk lookup
+// endpoint returning up to BulkLimit records per request.
+type Site struct {
+	Data *Dataset
+	byID map[int]*Record
+}
+
+// BulkLimit is the supplier's lookup batch size (§4.5: 20 at a time).
+const BulkLimit = 20
+
+// NewSite indexes a dataset for serving.
+func NewSite(ds *Dataset) *Site {
+	s := &Site{Data: ds, byID: make(map[int]*Record, len(ds.Records))}
+	for i := range ds.Records {
+		s.byID[ds.Records[i].OrderID] = &ds.Records[i]
+	}
+	return s
+}
+
+// Serve implements simweb.Site.
+func (s *Site) Serve(req simweb.Request) simweb.Response {
+	u, err := url.Parse(req.URL)
+	if err != nil {
+		return simweb.Response{Status: 400, Body: "bad url"}
+	}
+	switch {
+	case strings.HasPrefix(u.Path, "/track"):
+		return s.serveTrack(u)
+	default:
+		return s.serveIndex()
+	}
+}
+
+// serveIndex renders the scrolling list of recently fulfilled orders with
+// the id range embedded (the hook the scraper bootstraps from).
+func (s *Site) serveIndex() simweb.Response {
+	minID, maxID := s.idRange()
+	var b strings.Builder
+	b.WriteString("<html><head><title>Order Tracking</title></head><body><h1>Fulfilled orders</h1>\n")
+	fmt.Fprintf(&b, "<div id=\"range\" data-min=\"%d\" data-max=\"%d\"></div>\n", minID, maxID)
+	b.WriteString("<ul class=\"scroll\">\n")
+	n := len(s.Data.Records)
+	for i := n - 1; i >= 0 && i >= n-25; i-- {
+		r := s.Data.Records[i]
+		fmt.Fprintf(&b, "<li>order %d %s</li>\n", r.OrderID, r.Status)
+	}
+	b.WriteString("</ul></body></html>")
+	return simweb.Response{Status: 200, Body: b.String()}
+}
+
+func (s *Site) idRange() (minID, maxID int) {
+	first := true
+	for id := range s.byID {
+		if first || id < minID {
+			minID = id
+		}
+		if first || id > maxID {
+			maxID = id
+		}
+		first = false
+	}
+	return minID, maxID
+}
+
+// serveTrack answers bulk lookups: /track?ids=1,2,3 (at most BulkLimit).
+func (s *Site) serveTrack(u *url.URL) simweb.Response {
+	idsParam := u.Query().Get("ids")
+	if idsParam == "" {
+		return simweb.Response{Status: 400, Body: "missing ids"}
+	}
+	parts := strings.Split(idsParam, ",")
+	if len(parts) > BulkLimit {
+		return simweb.Response{Status: 400, Body: "too many ids"}
+	}
+	var b strings.Builder
+	b.WriteString("<html><body><table class=\"track\">\n")
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			continue
+		}
+		r, ok := s.byID[id]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "<tr class=\"rec\"><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			r.OrderID, r.Placed.Format("2006-01-02"), r.Status, r.Country)
+	}
+	b.WriteString("</table></body></html>")
+	return simweb.Response{Status: 200, Body: b.String()}
+}
+
+// Scrape pulls every record from a mounted supplier site through the bulk
+// lookup interface, exactly as the study's collection scripts did. It
+// returns the records sorted by order id.
+func Scrape(f simweb.Fetcher, domain string) ([]Record, error) {
+	idx := f.Fetch(simweb.Request{URL: "http://" + domain + "/", UserAgent: simweb.BrowserUA})
+	if idx.Status != 200 {
+		return nil, fmt.Errorf("supplier: index fetch status %d", idx.Status)
+	}
+	minID, maxID, err := parseRange(idx.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for lo := minID; lo <= maxID; lo += BulkLimit {
+		ids := make([]string, 0, BulkLimit)
+		for id := lo; id < lo+BulkLimit && id <= maxID; id++ {
+			ids = append(ids, strconv.Itoa(id))
+		}
+		resp := f.Fetch(simweb.Request{
+			URL:       "http://" + domain + "/track?ids=" + strings.Join(ids, ","),
+			UserAgent: simweb.BrowserUA,
+		})
+		if resp.Status != 200 {
+			return nil, fmt.Errorf("supplier: track fetch status %d", resp.Status)
+		}
+		recs, err := parseTrack(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OrderID < out[j].OrderID })
+	return out, nil
+}
+
+func parseRange(body string) (minID, maxID int, err error) {
+	minID, err = extractIntAttr(body, `data-min="`)
+	if err != nil {
+		return 0, 0, err
+	}
+	maxID, err = extractIntAttr(body, `data-max="`)
+	return minID, maxID, err
+}
+
+func extractIntAttr(body, marker string) (int, error) {
+	i := strings.Index(body, marker)
+	if i < 0 {
+		return 0, fmt.Errorf("supplier: marker %q not found", marker)
+	}
+	rest := body[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("supplier: unterminated attribute")
+	}
+	return strconv.Atoi(rest[:j])
+}
+
+func parseTrack(body string) ([]Record, error) {
+	var out []Record
+	for _, row := range strings.Split(body, "<tr class=\"rec\">") {
+		if !strings.Contains(row, "<td>") {
+			continue
+		}
+		var cells []string
+		for _, c := range strings.Split(row, "<td>") {
+			if end := strings.Index(c, "</td>"); end >= 0 {
+				cells = append(cells, c[:end])
+			}
+		}
+		if len(cells) != 4 {
+			continue
+		}
+		id, err := strconv.Atoi(cells[0])
+		if err != nil {
+			continue
+		}
+		placed, err := time.Parse("2006-01-02", cells[1])
+		if err != nil {
+			continue
+		}
+		status, ok := ParseStatus(cells[2])
+		if !ok {
+			continue
+		}
+		out = append(out, Record{OrderID: id, Placed: placed, Status: status, Country: cells[3]})
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package supplier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simweb"
+)
+
+func TestGenerateProportions(t *testing.T) {
+	ds := Generate(rng.New(1), 50000)
+	if len(ds.Records) != 50000 {
+		t.Fatalf("records = %d", len(ds.Records))
+	}
+	by := ds.ByStatus()
+	frac := func(s Status) float64 { return float64(by[s]) / 50000 }
+	// §4.5 proportions: ~91.8% delivered, ~1.4% seized at source, ~5.4% at
+	// destination, ~0.5% returned.
+	if math.Abs(frac(Delivered)-0.9129) > 0.01 {
+		t.Fatalf("delivered frac = %v", frac(Delivered))
+	}
+	if math.Abs(frac(SeizedAtDestination)-0.0538) > 0.01 {
+		t.Fatalf("seized-at-dest frac = %v", frac(SeizedAtDestination))
+	}
+	if frac(SeizedAtSource) >= frac(SeizedAtDestination) {
+		t.Fatal("destination seizures must dominate source seizures")
+	}
+}
+
+func TestTopRegionsShare(t *testing.T) {
+	ds := Generate(rng.New(2), 50000)
+	share := ds.TopRegionsShare()
+	if share < 0.78 || share > 0.87 {
+		t.Fatalf("top regions share = %v, want ≈0.81", share)
+	}
+	by := ds.ByCountry()
+	if by["US"] <= by["JP"] || by["JP"] <= by["AU"] {
+		t.Fatalf("country ordering US>JP>AU violated: %v/%v/%v", by["US"], by["JP"], by["AU"])
+	}
+}
+
+func TestRecordsInsideWindow(t *testing.T) {
+	ds := Generate(rng.New(3), 2000)
+	start, end := Window()
+	for _, r := range ds.Records {
+		if r.Placed.Before(start) || r.Placed.After(end) {
+			t.Fatalf("record placed %v outside window", r.Placed)
+		}
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	for s := InTransit; s <= Returned; s++ {
+		got, ok := ParseStatus(s.String())
+		if !ok || got != s {
+			t.Fatalf("round trip failed for %v", s)
+		}
+	}
+	if _, ok := ParseStatus("bogus"); ok {
+		t.Fatal("bogus status parsed")
+	}
+}
+
+func TestSiteBulkLookup(t *testing.T) {
+	ds := Generate(rng.New(4), 100)
+	site := NewSite(ds)
+	resp := site.Serve(simweb.Request{URL: "http://supplier.example/track?ids=500000,500001,500002"})
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	recs, err := parseTrack(resp.Body)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("recs = %d, err = %v", len(recs), err)
+	}
+	// Over-limit requests are refused.
+	ids := "500000"
+	for i := 1; i <= BulkLimit; i++ {
+		ids += ",500001"
+	}
+	if resp := site.Serve(simweb.Request{URL: "http://supplier.example/track?ids=" + ids}); resp.Status != 400 {
+		t.Fatalf("over-limit status = %d", resp.Status)
+	}
+	if resp := site.Serve(simweb.Request{URL: "http://supplier.example/track"}); resp.Status != 400 {
+		t.Fatal("missing ids must 400")
+	}
+}
+
+func TestScrapeRecoversEverything(t *testing.T) {
+	ds := Generate(rng.New(5), 500)
+	web := simweb.NewWeb()
+	web.Register("supplier.example", NewSite(ds))
+	recs, err := Scrape(web, "supplier.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ds.Records) {
+		t.Fatalf("scraped %d of %d records", len(recs), len(ds.Records))
+	}
+	// Spot-check fidelity.
+	want := map[int]Record{}
+	for _, r := range ds.Records {
+		want[r.OrderID] = r
+	}
+	for _, r := range recs {
+		w := want[r.OrderID]
+		if r.Status != w.Status || r.Country != w.Country ||
+			r.Placed.Format("2006-01-02") != w.Placed.Format("2006-01-02") {
+			t.Fatalf("record %d mismatch: %+v vs %+v", r.OrderID, r, w)
+		}
+	}
+}
+
+func TestScrapeUnknownHost(t *testing.T) {
+	web := simweb.NewWeb()
+	if _, err := Scrape(web, "gone.example"); err == nil {
+		t.Fatal("scrape of missing site must fail")
+	}
+}
+
+func TestIndexPageAdvertisesRange(t *testing.T) {
+	ds := Generate(rng.New(6), 50)
+	site := NewSite(ds)
+	resp := site.Serve(simweb.Request{URL: "http://supplier.example/"})
+	minID, maxID, err := parseRange(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minID != 500000 || maxID != 500049 {
+		t.Fatalf("range = %d..%d", minID, maxID)
+	}
+}
+
+func TestDeliveredSuccessfully(t *testing.T) {
+	ds := &Dataset{Records: []Record{
+		{Status: Delivered}, {Status: Delivered}, {Status: Returned}, {Status: InTransit},
+	}}
+	if ds.DeliveredSuccessfully() != 2 {
+		t.Fatal("delivered count wrong")
+	}
+}

@@ -1,0 +1,99 @@
+// Package traffic models the demand side: users issuing queries in each
+// vertical, clicking results with a rank-position bias, being deterred (or
+// not) by "hacked" warning labels, and converting store visits into orders.
+// Its constants are anchored to the paper's measurements: a ~0.7% visit to
+// order conversion rate, ~5.6 HTML pages fetched per visit, and ~60% of
+// visits carrying an HTTP referrer.
+package traffic
+
+import (
+	"repro/internal/rng"
+)
+
+// Model holds the click/conversion parameters.
+type Model struct {
+	// ConversionRate is the probability a store visit creates an order
+	// (§5.2.3 estimates 0.7%, "roughly a sale every 151 visits"). Order
+	// counters advance for created orders, not completed payments.
+	ConversionRate float64
+	// PagesPerVisit is the mean HTML fetches per store visit (§5.2.3: 5.6).
+	PagesPerVisit float64
+	// LabelDeterrence is the fraction of users who skip a result labeled
+	// "This site may be hacked".
+	LabelDeterrence float64
+	// ReferrerRate is the fraction of visits that carry an HTTP referrer
+	// (§5.2.3: 60%).
+	ReferrerRate float64
+	// DirectVisitShare is extra store traffic from non-search channels
+	// (bookmarks, emailed links), as a fraction of search traffic.
+	DirectVisitShare float64
+}
+
+// Default returns the model calibrated to the paper.
+func Default() Model {
+	return Model{
+		ConversionRate:   0.0066,
+		PagesPerVisit:    5.6,
+		LabelDeterrence:  0.55,
+		ReferrerRate:     0.60,
+		DirectVisitShare: 0.08,
+	}
+}
+
+// CTR returns the click-through rate of a search result at the given rank
+// (0-based). It follows the standard steep position bias: the first page
+// (ranks 0-9) receives the overwhelming share, with a long thin tail across
+// the top 100 — which is why the paper asks whether top-10 or top-100
+// placement drives order volume.
+func CTR(rank int) float64 {
+	switch {
+	case rank < 0:
+		return 0
+	case rank < 10:
+		// First page: ~28% for rank 0 decaying to ~1.6% for rank 9.
+		first := [...]float64{0.28, 0.14, 0.09, 0.06, 0.045, 0.035, 0.028, 0.022, 0.018, 0.016}
+		return first[rank]
+	case rank < 100:
+		// Later pages: a thin but non-zero tail. The MOONKIS episode shows
+		// top-100-only placement still sustains order volume.
+		return 0.0035 * 10 / float64(rank)
+	default:
+		return 0
+	}
+}
+
+// TermWeight spreads a vertical's query volume across its monitored terms
+// with a Zipf-like popularity curve; weights over nTerms sum to ~1.
+func TermWeight(termIdx, nTerms int) float64 {
+	if termIdx < 0 || termIdx >= nTerms {
+		return 0
+	}
+	var total float64
+	for i := 1; i <= nTerms; i++ {
+		total += 1 / float64(i)
+	}
+	return 1 / float64(termIdx+1) / total
+}
+
+// SlotClicks returns the expected clicks a result at rank receives on a day
+// when termVolume users issue its term, given whether the result carries a
+// warning label.
+func (m Model) SlotClicks(termVolume float64, rank int, labeled bool) float64 {
+	c := termVolume * CTR(rank)
+	if labeled {
+		c *= 1 - m.LabelDeterrence
+	}
+	return c
+}
+
+// Orders converts a day's visits at a store into created orders, with
+// Poisson noise around the expected conversion.
+func (m Model) Orders(r *rng.Source, visits float64) float64 {
+	if visits <= 0 {
+		return 0
+	}
+	return float64(r.Poisson(visits * m.ConversionRate))
+}
+
+// Pages converts visits into HTML page fetches.
+func (m Model) Pages(visits float64) float64 { return visits * m.PagesPerVisit }

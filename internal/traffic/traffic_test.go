@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCTRMonotoneOnFirstPage(t *testing.T) {
+	for r := 1; r < 10; r++ {
+		if CTR(r) >= CTR(r-1) {
+			t.Fatalf("CTR not decreasing at rank %d", r)
+		}
+	}
+}
+
+func TestCTRTopPageDominates(t *testing.T) {
+	var top10, tail float64
+	for r := 0; r < 10; r++ {
+		top10 += CTR(r)
+	}
+	for r := 10; r < 100; r++ {
+		tail += CTR(r)
+	}
+	if top10 <= tail {
+		t.Fatalf("first page CTR (%v) must dominate tail (%v)", top10, tail)
+	}
+	if tail <= 0 {
+		t.Fatal("tail CTR must be non-zero (MOONKIS effect)")
+	}
+}
+
+func TestCTRBounds(t *testing.T) {
+	if CTR(-1) != 0 || CTR(100) != 0 || CTR(500) != 0 {
+		t.Fatal("out-of-range ranks must have zero CTR")
+	}
+	var sum float64
+	for r := 0; r < 100; r++ {
+		sum += CTR(r)
+	}
+	if sum > 1 {
+		t.Fatalf("total CTR = %v > 1", sum)
+	}
+}
+
+func TestTermWeightSumsToOne(t *testing.T) {
+	var sum float64
+	for i := 0; i < 100; i++ {
+		sum += TermWeight(i, 100)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("term weights sum to %v", sum)
+	}
+	if TermWeight(0, 100) <= TermWeight(50, 100) {
+		t.Fatal("head terms must outweigh tail terms")
+	}
+	if TermWeight(-1, 100) != 0 || TermWeight(100, 100) != 0 {
+		t.Fatal("out-of-range weights must be 0")
+	}
+}
+
+func TestLabelDeterrence(t *testing.T) {
+	m := Default()
+	plain := m.SlotClicks(1000, 0, false)
+	labeled := m.SlotClicks(1000, 0, true)
+	if labeled >= plain {
+		t.Fatal("label must deter clicks")
+	}
+	want := plain * (1 - m.LabelDeterrence)
+	if math.Abs(labeled-want) > 1e-9 {
+		t.Fatalf("labeled clicks = %v, want %v", labeled, want)
+	}
+}
+
+func TestOrdersConversionRate(t *testing.T) {
+	m := Default()
+	r := rng.New(1)
+	var totalOrders float64
+	const visitsPerDay, days = 5000, 400
+	for i := 0; i < days; i++ {
+		totalOrders += m.Orders(r, visitsPerDay)
+	}
+	rate := totalOrders / (visitsPerDay * days)
+	if math.Abs(rate-m.ConversionRate) > m.ConversionRate*0.1 {
+		t.Fatalf("empirical conversion = %v, want ~%v", rate, m.ConversionRate)
+	}
+	// The paper's headline: roughly a sale every 151 visits.
+	if perSale := 1 / m.ConversionRate; perSale < 120 || perSale > 180 {
+		t.Fatalf("visits per sale = %v, want ~151", perSale)
+	}
+}
+
+func TestOrdersZeroVisits(t *testing.T) {
+	m := Default()
+	if m.Orders(rng.New(1), 0) != 0 || m.Orders(rng.New(1), -5) != 0 {
+		t.Fatal("no visits, no orders")
+	}
+}
+
+func TestPages(t *testing.T) {
+	m := Default()
+	if got := m.Pages(100); math.Abs(got-560) > 1e-9 {
+		t.Fatalf("pages = %v, want 560 (5.6/visit)", got)
+	}
+}

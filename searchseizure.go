@@ -1,0 +1,151 @@
+// Package searchseizure reproduces the measurement study "Search + Seizure:
+// The Effectiveness of Interventions on SEO Campaigns" (Wang et al., IMC
+// 2014) as a runnable system.
+//
+// The library simulates the counterfeit-luxury SEO ecosystem — black-hat
+// campaigns operating cloaked doorways on compromised sites, storefronts
+// with independent order counters, a search engine whose results they
+// poison, users clicking through and buying, search-engine penalties and
+// brand-holder domain seizures — and runs the paper's actual measurement
+// pipeline against it: the Dagger and VanGogh crawlers, the storefront
+// detector, an L1-regularised campaign classifier, the purchase-pair
+// order-volume estimator and the intervention analyses.
+//
+// The quickest way in:
+//
+//	study := searchseizure.NewStudy(searchseizure.TestConfig())
+//	study.Run()
+//	fmt.Println(study.MustExperiment("table1"))
+//
+// Every table and figure of the paper has an experiment id; see
+// Experiments. DESIGN.md documents what the paper measured on the real web
+// and what this reproduction substitutes for it.
+package searchseizure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+// Config sizes and seeds a study; see the field docs in internal/core.
+// Use DefaultConfig (paper scale) or TestConfig (miniature) as a base.
+type Config = core.Config
+
+// DefaultConfig is the paper-scale configuration: 16 verticals x 100 terms
+// x top-100 results crawled daily over the 2013-11-13..2014-07-15 window,
+// full-size campaign infrastructure.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// TestConfig is a miniature configuration with the same moving parts,
+// suitable for tests and quick exploration (runs in seconds).
+func TestConfig() Config { return core.TestConfig() }
+
+// BenchConfig is the mid-size configuration the benchmark harness uses: big
+// enough that every experiment has signal, small enough to iterate.
+func BenchConfig() Config {
+	cfg := core.DefaultConfig()
+	cfg.Scale = 0.06
+	cfg.TermsPerVertical = 10
+	cfg.SlotsPerTerm = 50
+	cfg.TailCampaigns = 18
+	cfg.SeedDocsTarget = 350
+	cfg.SupplierRecords = 40000
+	return cfg
+}
+
+// Study is one end-to-end run: a simulated world plus the measurement
+// dataset collected from it.
+type Study struct {
+	World *core.World
+	Data  *core.Dataset
+}
+
+// NewStudy builds the world for a configuration. Building trains the
+// campaign classifier, deploys all infrastructure and mounts the web, but
+// does not advance time; call Run.
+func NewStudy(cfg Config) *Study {
+	return &Study{World: core.NewWorld(cfg)}
+}
+
+// Run executes the full longitudinal study (idempotent: subsequent calls
+// return the same dataset).
+func (s *Study) Run() *core.Dataset {
+	if s.Data == nil {
+		s.Data = s.World.Run()
+	}
+	return s.Data
+}
+
+// Experiment renders one of the paper's tables or figures by id (see
+// Experiments for the registry). It runs the study first if needed.
+func (s *Study) Experiment(id string) (string, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("searchseizure: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return e.Run(s.Run()).String(), nil
+}
+
+// MustExperiment is Experiment, panicking on unknown ids.
+func (s *Study) MustExperiment(id string) string {
+	out, err := s.Experiment(id)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Export writes the study's dataset artifacts (summary.json plus the
+// per-vertical and per-campaign series CSVs) into dir, running the study
+// first if needed.
+func (s *Study) Export(dir string) error {
+	return export.Dir(dir, s.Run())
+}
+
+// ExperimentInfo describes one reproducible table/figure.
+type ExperimentInfo struct {
+	ID    string
+	Title string
+}
+
+// Experiments lists the reproducible tables and figures in paper order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	return out
+}
+
+// ExperimentIDs returns the sorted experiment ids.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Ablations lists the design-choice studies. Unlike Experiments these build
+// and run their own (alternate) worlds from a base config.
+func Ablations() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, a := range experiments.Ablations() {
+		out = append(out, ExperimentInfo{ID: a.ID, Title: a.Title})
+	}
+	return out
+}
+
+// RunAblation executes one ablation by id against a base configuration.
+func RunAblation(id string, base Config) (string, error) {
+	a, ok := experiments.AblationByID(id)
+	if !ok {
+		return "", fmt.Errorf("searchseizure: unknown ablation %q", id)
+	}
+	return a.Run(base).String(), nil
+}
