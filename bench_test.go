@@ -8,6 +8,7 @@ package searchseizure
 // crawl days, all interventions) at test scale.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -108,9 +109,27 @@ func BenchmarkFullStudy(b *testing.B) {
 }
 
 // BenchmarkSimulatedDay measures one day of the world advancing under full
-// observation (the study's steady-state unit of work).
+// observation (the study's steady-state unit of work) on a single observe
+// worker — the serial baseline for BenchmarkSimulatedDayParallel.
 func BenchmarkSimulatedDay(b *testing.B) {
-	s := NewStudy(ablationConfig())
+	cfg := ablationConfig()
+	cfg.ObserveWorkers = 1
+	s := NewStudy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.World.RunDay(0)
+	}
+}
+
+// BenchmarkSimulatedDayParallel runs the same day with the observe phase
+// fanned out across every core. The serial/parallel ratio is the day
+// pipeline's speedup; on a single-core machine the two should be equal
+// (the one-worker path runs inline, no goroutines).
+func BenchmarkSimulatedDayParallel(b *testing.B) {
+	cfg := ablationConfig()
+	cfg.ObserveWorkers = runtime.NumCPU()
+	cfg.CrawlWorkers = runtime.NumCPU()
+	s := NewStudy(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.World.RunDay(0)

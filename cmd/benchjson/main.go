@@ -1,0 +1,130 @@
+// Command benchjson runs the day-pipeline benchmark suite through
+// testing.Benchmark and writes the results as machine-readable JSON
+// (BENCH_daypipeline.json by default), so CI can archive per-commit
+// numbers and diff them across runs.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_daypipeline.json] [-benchtime 1x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	searchseizure "repro"
+	"repro/internal/htmlparse"
+	"repro/internal/simclock"
+)
+
+// result is one benchmark's measurements in flat JSON-friendly form.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the file's top-level shape.
+type report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []result `json:"results"`
+}
+
+// benchCfg mirrors the root package's ablationConfig: small enough that a
+// full study fits in a CI step.
+func benchCfg() searchseizure.Config {
+	cfg := searchseizure.TestConfig()
+	cfg.TermsPerVertical = 4
+	cfg.SlotsPerTerm = 20
+	cfg.ExtendedTail = false
+	return cfg
+}
+
+func run(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %8d allocs/op\n", name, r.NsPerOp(), r.AllocsPerOp())
+	return result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_daypipeline.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	rep.Results = append(rep.Results, run("FullStudy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := searchseizure.NewStudy(benchCfg()).Run()
+			if d.TotalPSRs() == 0 {
+				b.Fatal("study produced no PSRs")
+			}
+		}
+	}))
+
+	rep.Results = append(rep.Results, run("SimulatedDaySerial", func(b *testing.B) {
+		cfg := benchCfg()
+		cfg.ObserveWorkers = 1
+		s := searchseizure.NewStudy(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.World.RunDay(simclock.Day(0))
+		}
+	}))
+
+	rep.Results = append(rep.Results, run("SimulatedDayParallel", func(b *testing.B) {
+		cfg := benchCfg()
+		cfg.ObserveWorkers = runtime.NumCPU()
+		cfg.CrawlWorkers = runtime.NumCPU()
+		s := searchseizure.NewStudy(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.World.RunDay(simclock.Day(0))
+		}
+	}))
+
+	rep.Results = append(rep.Results, run("Triplets", func(b *testing.B) {
+		doc := strings.Repeat(`<div class="product"><a href="/php?p=cheap">Buy</a>`+
+			`<img src="http://img.example.com/p.png"></div>`, 120)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			htmlparse.Triplets(doc)
+		}
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

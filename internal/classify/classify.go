@@ -10,7 +10,8 @@ package classify
 import (
 	"math"
 	"sort"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Doc is one training or evaluation document: its extracted features and
@@ -135,30 +136,24 @@ func Train(docs []Doc, opts Options) *Model {
 		weights: make([][]float64, len(classes)),
 		bias:    make([]float64, len(classes)),
 	}
+	// One-vs-rest subproblems are independent; each writes only its own
+	// class slot, so the fan-out is deterministic at any worker count.
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for ci, class := range classes {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ci int, class string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			y := make([]float64, len(docs))
-			for i, d := range docs {
-				if d.Label == class {
-					y[i] = 1
-				}
+	parallel.ForEach(workers, len(classes), func(ci int) {
+		class := classes[ci]
+		y := make([]float64, len(docs))
+		for i, d := range docs {
+			if d.Label == class {
+				y[i] = 1
 			}
-			w, b := trainBinary(X, y, vocab.Size(), opts)
-			m.weights[ci] = w
-			m.bias[ci] = b
-		}(ci, class)
-	}
-	wg.Wait()
+		}
+		w, b := trainBinary(X, y, vocab.Size(), opts)
+		m.weights[ci] = w
+		m.bias[ci] = b
+	})
 	return m
 }
 

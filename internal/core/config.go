@@ -36,6 +36,12 @@ type Config struct {
 	CrawlRecheckDays int
 	// CrawlWorkers bounds crawl parallelism.
 	CrawlWorkers int
+	// ObserveWorkers bounds how many verticals the day pipeline observes
+	// concurrently (and how many traffic shards aggregate in parallel).
+	// 0 means GOMAXPROCS. Output is bit-identical at any setting: side
+	// effects are merged in fixed vertical order and order draws use
+	// per-store RNG substreams.
+	ObserveWorkers int
 	// VanGogh and RenderOnDagger toggle the rendering crawlers (ablations).
 	VanGogh        bool
 	RenderOnDagger bool

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
 	"repro/internal/brands"
 	"repro/internal/campaign"
 	"repro/internal/intervention"
@@ -222,10 +227,13 @@ func (d *Dataset) TotalStores() int {
 // AttributedShare returns the fraction of PSR observations attributed to
 // named campaigns (the paper classified 58%).
 func (d *Dataset) AttributedShare() float64 {
+	// Fold in fixed vertical/label order: float addition is not associative,
+	// so map-order iteration would wobble the last bits between calls.
 	var named, total float64
-	for _, vo := range d.Verticals {
-		for label, s := range vo.Attributed.Layers {
-			sum := s.Sum()
+	for _, v := range brands.All() {
+		vo := d.Verticals[v]
+		for _, label := range vo.Attributed.Labels {
+			sum := vo.Attributed.Layers[label].Sum()
 			total += sum
 			if label != Unknown {
 				named += sum
@@ -256,3 +264,129 @@ func (d *Dataset) GroundTruthSpec(name string) (*campaign.Spec, bool) {
 
 // World returns the generating world (experiments need its engines).
 func (d *Dataset) World() *World { return d.world }
+
+// Fingerprint hashes every observation the dataset holds into a single
+// value, folding floats in bit-exactly (math.Float64bits) and walking all
+// maps in sorted key order. Two runs of the same study configuration must
+// produce equal fingerprints regardless of GOMAXPROCS or worker counts —
+// this is what the parallel day pipeline's determinism tests assert.
+func (d *Dataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	str := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	series := func(s metrics.Series) {
+		u64(uint64(len(s)))
+		for _, v := range s {
+			f64(v)
+		}
+	}
+	boolSet := func(m map[string]bool) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			str(k)
+		}
+	}
+	daySet := func(m map[string]simclock.Day) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			str(k)
+			u64(uint64(m[k]))
+		}
+	}
+
+	u64(uint64(d.StudyDays))
+	u64(uint64(d.SimDays))
+	for _, v := range brands.All() {
+		vo := d.Verticals[v]
+		u64(uint64(v))
+		u64(uint64(vo.PSRObservations))
+		u64(uint64(vo.LabeledObservations))
+		u64(uint64(vo.LabelEligible))
+		series(vo.Top10PoisonedPct)
+		series(vo.Top100PoisonedPct)
+		series(vo.PenalizedPct)
+		for _, label := range vo.Attributed.Labels {
+			str(label)
+			series(vo.Attributed.Layers[label])
+		}
+		boolSet(vo.DoorwaysSeen)
+		boolSet(vo.StoresSeen)
+		boolSet(vo.CampaignsSeen)
+	}
+	names := make([]string, 0, len(d.Campaigns))
+	for name := range d.Campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		co := d.Campaigns[name]
+		str(name)
+		series(co.PSRTop100)
+		series(co.PSRTop10)
+		series(co.LabeledPSRs)
+		boolSet(co.Doorways)
+		boolSet(co.StoresSeen)
+		for _, v := range brands.All() {
+			if co.Verticals[v] {
+				u64(uint64(v))
+			}
+		}
+	}
+	series(d.ChurnNew)
+	series(d.ChurnTotal)
+	for _, s := range d.Seizures {
+		str(s.Domain)
+		u64(uint64(s.Day))
+		str(s.CaseID)
+		str(s.FirmKey)
+		str(s.StoreID)
+		if s.SeenInPSRs {
+			u64(1)
+		}
+	}
+	for _, r := range d.Reactions {
+		str(r.StoreID)
+		u64(uint64(r.Day))
+		str(r.NewDomain)
+	}
+	daySet(d.StoreFirstSeen)
+	daySet(d.DoorFirstSeen)
+	daySet(d.DoorLabeledOn)
+	ids := make([]string, 0, len(d.SampledOrders))
+	for id := range d.SampledOrders {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		os := d.SampledOrders[id]
+		str(id)
+		series(os.Rates)
+		series(os.Volume)
+		u64(uint64(os.TotalDelta))
+	}
+	ids = ids[:0]
+	for id := range d.WatchedPSRs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := d.WatchedPSRs[id]
+		str(id)
+		series(ws.Top100)
+		series(ws.Top10)
+	}
+	return h.Sum64()
+}

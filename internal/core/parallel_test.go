@@ -1,0 +1,114 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// smallConfig is the miniature study the parallel-pipeline tests run twice;
+// trimmed below TestConfig so the double run stays fast.
+func smallConfig() Config {
+	cfg := TestConfig()
+	cfg.TermsPerVertical = 3
+	cfg.SlotsPerTerm = 20
+	cfg.ExtendedTail = false
+	return cfg
+}
+
+// TestParallelPipelineDeterministic is the tentpole's contract: the same
+// configuration must produce a bit-identical Dataset whether the day
+// pipeline runs on one observe worker at GOMAXPROCS=1 or fans out across
+// every core. Fingerprint folds in every observation (PSR counts, series,
+// attribution layers, first-seen maps, seizures, sampled orders), so any
+// scheduling-dependent float-sum order, RNG draw order, or map-iteration
+// leak shows up as a mismatch.
+func TestParallelPipelineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+
+	serialCfg := smallConfig()
+	serialCfg.ObserveWorkers = 1
+	serialCfg.CrawlWorkers = 1
+	prev := runtime.GOMAXPROCS(1)
+	serial := NewWorld(serialCfg).Run()
+	runtime.GOMAXPROCS(prev)
+
+	parCfg := smallConfig()
+	parCfg.ObserveWorkers = runtime.NumCPU()
+	parCfg.CrawlWorkers = runtime.NumCPU()
+	par := NewWorld(parCfg).Run()
+
+	// Spot-check the headline numbers first so a mismatch names the field
+	// instead of only reporting unequal hashes.
+	if serial.TotalPSRs() != par.TotalPSRs() {
+		t.Errorf("PSR totals differ: serial=%d parallel=%d", serial.TotalPSRs(), par.TotalPSRs())
+	}
+	if serial.TotalStores() != par.TotalStores() {
+		t.Errorf("store totals differ: serial=%d parallel=%d", serial.TotalStores(), par.TotalStores())
+	}
+	if got, want := par.AttributedShare(), serial.AttributedShare(); got != want {
+		t.Errorf("attributed share differs: serial=%v parallel=%v", want, got)
+	}
+	if len(serial.Seizures) != len(par.Seizures) {
+		t.Errorf("seizure counts differ: serial=%d parallel=%d", len(serial.Seizures), len(par.Seizures))
+	}
+	for id, so := range serial.SampledOrders {
+		po, ok := par.SampledOrders[id]
+		if !ok {
+			t.Errorf("sampled store %s missing from parallel run", id)
+			continue
+		}
+		if so.TotalDelta != po.TotalDelta {
+			t.Errorf("store %s order delta differs: serial=%d parallel=%d", id, so.TotalDelta, po.TotalDelta)
+		}
+		for i := range so.Volume {
+			if so.Volume[i] != po.Volume[i] {
+				t.Errorf("store %s volume[%d] differs: serial=%v parallel=%v", id, i, so.Volume[i], po.Volume[i])
+				break
+			}
+		}
+	}
+
+	if sf, pf := serial.Fingerprint(), par.Fingerprint(); sf != pf {
+		t.Fatalf("dataset fingerprints differ: serial=%#x parallel=%#x", sf, pf)
+	}
+}
+
+// TestFingerprintMatchesRerun guards the fingerprint itself: two identical
+// sequential runs must hash equal (and a different seed must not), so a
+// fingerprint that ignored its inputs could not pass.
+func TestFingerprintMatchesRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig()
+	a := NewWorld(cfg).Run().Fingerprint()
+	b := NewWorld(cfg).Run().Fingerprint()
+	if a != b {
+		t.Fatalf("identical runs hash differently: %#x vs %#x", a, b)
+	}
+	cfg.Seed = cfg.Seed + 1
+	if c := NewWorld(cfg).Run().Fingerprint(); c == a {
+		t.Fatalf("different seed produced the same fingerprint %#x", c)
+	}
+}
+
+// TestRunDayParallelUnderRace drives the concurrent observe phase with more
+// workers than this machine may have cores so `go test -race` exercises the
+// crawler in-flight dedup, the shared Attribute cache, and the engine's
+// concurrent readers.
+func TestRunDayParallelUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig()
+	cfg.ObserveWorkers = 4
+	cfg.CrawlWorkers = 4
+	w := NewWorld(cfg)
+	for d := simclock.Day(0); d < 30 && int(d) < w.Sim.Days(); d++ {
+		w.RunDay(d)
+	}
+}

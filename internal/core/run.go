@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/brands"
 	"repro/internal/htmlparse"
+	"repro/internal/parallel"
 	"repro/internal/purchase"
 	"repro/internal/searchsim"
 	"repro/internal/simclock"
@@ -28,15 +29,31 @@ func (w *World) Run() *Dataset {
 }
 
 // RunDay advances the world one day.
+//
+// The day pipeline is split into a parallel observe phase and a sequential
+// commit phase. Each vertical's observation (crawl, cloaking verdicts,
+// attribution, per-vertical tallies) runs concurrently against a frozen
+// world — nothing the observe phase reads is mutated until every vertical
+// has finished. Side effects on state shared across verticals (the
+// labeler, first-seen maps, the seizure engine's visibility clocks,
+// per-campaign series) are recorded as per-vertical event lists and merged
+// afterwards in fixed vertical order, so a study produces bit-identical
+// output at any GOMAXPROCS or worker count.
 func (w *World) RunDay(d simclock.Day) {
 	w.Engine.Advance(d)
 	w.rotateStores(d)
 	w.Seizure.Tick(d)
 
 	inStudy := int(d) < w.Study.Days()
-	for _, v := range brands.All() {
-		w.observeVertical(v, d, inStudy)
+	verticals := brands.All()
+	obs := w.dayObs(len(verticals))
+	parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
+		w.observeVertical(obs[i], verticals[i], d, inStudy)
+	})
+	for _, o := range obs {
+		w.commitObservation(o, d, inStudy)
 	}
+
 	w.Labeler.Tick(d, w.Engine, w.Specs, w.Deps)
 	w.applyTraffic(d)
 	if inStudy {
@@ -69,52 +86,146 @@ func (w *World) rotateStores(d simclock.Day) {
 	}
 }
 
-// observeVertical runs the day's crawl over one vertical's SERPs and books
-// the observations.
-func (w *World) observeVertical(v brands.Vertical, d simclock.Day, inStudy bool) {
-	vo := w.Data.Verticals[v]
+// labelerEvent is one Labeler.Observe call deferred to the commit phase.
+// The labeler's root-dominance arming is sensitive to observation order, so
+// events are replayed exactly as the sequential pipeline would have issued
+// them: vertical by vertical, in slot order.
+type labelerEvent struct {
+	domain string
+	root   bool
+}
+
+// campDayAgg accumulates one vertical's daily contribution to a named
+// campaign's shared observation bucket.
+type campDayAgg struct {
+	top100, top10, labeled int
+	doorways               map[string]bool
+	stores                 map[string]bool
+}
+
+// watchedAgg accumulates daily PSR counts for one watched case-study store.
+type watchedAgg struct {
+	top100, top10 int
+}
+
+// dayObservation is one vertical's output of the read-only observe phase,
+// plus the scratch buffers the phase reuses day over day. Everything here
+// is owned by a single goroutine during observation; the commit phase
+// merges the shared-state portions in fixed vertical order.
+type dayObservation struct {
+	vertical brands.Vertical
+	vo       *VerticalObs
+
+	// scratch: the day's unique doorway-candidate domains with sample URLs.
+	urls map[string]string
+
+	// per-vertical tallies (committed to vo directly by the observe phase —
+	// each VerticalObs is touched by exactly one goroutine).
+	slots, top10Slots             int
+	top100Poisoned, top10Poisoned int
+	penalized                     int
+	attributed                    map[string]int
+
+	// deferred shared-state effects, replayed by the commit phase.
+	labelerEvents []labelerEvent
+	doorNew       map[string]bool // doorway domains not yet in DoorFirstSeen
+	storeNew      map[string]bool // store domains not yet in StoreFirstSeen
+	visible       map[string]bool // store IDs whose domain surfaced in PSRs
+	watched       map[string]*watchedAgg
+	campaigns     map[string]*campDayAgg
+}
+
+// dayObs returns the per-vertical observation records, allocated once and
+// reused every day.
+func (w *World) dayObs(n int) []*dayObservation {
+	if w.obs == nil {
+		w.obs = make([]*dayObservation, n)
+		for i := range w.obs {
+			w.obs[i] = &dayObservation{
+				urls:       make(map[string]string, 256),
+				attributed: make(map[string]int, 16),
+				doorNew:    make(map[string]bool),
+				storeNew:   make(map[string]bool),
+				visible:    make(map[string]bool),
+				watched:    make(map[string]*watchedAgg),
+				campaigns:  make(map[string]*campDayAgg),
+			}
+		}
+	}
+	return w.obs
+}
+
+// reset clears a record for a new day, keeping allocated capacity.
+func (o *dayObservation) reset() {
+	clear(o.urls)
+	o.slots, o.top10Slots = 0, 0
+	o.top100Poisoned, o.top10Poisoned = 0, 0
+	o.penalized = 0
+	clear(o.attributed)
+	o.labelerEvents = o.labelerEvents[:0]
+	clear(o.doorNew)
+	clear(o.storeNew)
+	clear(o.visible)
+	clear(o.watched)
+	clear(o.campaigns)
+}
+
+// observeVertical runs the day's crawl over one vertical's SERPs and
+// records the observations into o. It is the read-only half of the
+// pipeline: it may run concurrently with other verticals' observations and
+// must not mutate state shared across verticals. The crawler's verdict
+// cache, the classifier's attribution cache, and the HTML generator's memo
+// are the only shared structures it touches; all are thread-safe and yield
+// order-independent results for a fixed day.
+func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock.Day, inStudy bool) {
+	o.reset()
+	o.vertical = v
+	o.vo = w.Data.Verticals[v]
+	vo := o.vo
 
 	// Collect the day's unique doorway-candidate domains with sample URLs.
-	urls := make(map[string]string)
 	w.Engine.EachSlot(v, func(_, _ int, s *searchsim.Slot) {
-		if _, dup := urls[s.Domain]; !dup {
-			urls[s.Domain] = s.URL
+		if _, dup := o.urls[s.Domain]; !dup {
+			o.urls[s.Domain] = s.URL
 		}
 	})
-	verdicts := w.Crawler.CheckDomains(urls, d)
+	verdicts := w.Crawler.CheckDomains(o.urls, d)
 
-	var top10Poisoned, top100Poisoned, penalized, top10Slots, slots int
-	attributedToday := make(map[string]int)
 	w.Engine.EachSlot(v, func(_, rank int, s *searchsim.Slot) {
-		slots++
+		o.slots++
 		if rank < 10 {
-			top10Slots++
+			o.top10Slots++
 		}
 		ver := verdicts[s.Domain]
 		if !ver.Cloaked {
 			return
 		}
-		top100Poisoned++
+		o.top100Poisoned++
 		if rank < 10 {
-			top10Poisoned++
+			o.top10Poisoned++
 		}
-		w.Labeler.Observe(s.Domain, d, s.Root)
+		o.labelerEvents = append(o.labelerEvents, labelerEvent{s.Domain, s.Root})
 		if _, seen := w.Data.DoorFirstSeen[s.Domain]; !seen {
-			w.Data.DoorFirstSeen[s.Domain] = d
+			o.doorNew[s.Domain] = true
 		}
 
 		// Resolve and book the landing store.
 		var attribution string
 		if ver.IsStore && ver.StoreDomain != "" {
 			if _, seen := w.Data.StoreFirstSeen[ver.StoreDomain]; !seen {
-				w.Data.StoreFirstSeen[ver.StoreDomain] = d
+				o.storeNew[ver.StoreDomain] = true
 			}
 			if st, ok := w.storeByDom[ver.StoreDomain]; ok {
-				w.Seizure.MarkVisible(st.ID(), d)
-				if ws, watched := w.Data.WatchedPSRs[st.ID()]; watched {
-					ws.Top100.Add(int(d), 1)
+				o.visible[st.ID()] = true
+				if _, isWatched := w.Data.WatchedPSRs[st.ID()]; isWatched {
+					wa := o.watched[st.ID()]
+					if wa == nil {
+						wa = &watchedAgg{}
+						o.watched[st.ID()] = wa
+					}
+					wa.top100++
 					if rank < 10 {
-						ws.Top10.Add(int(d), 1)
+						wa.top10++
 					}
 				}
 			}
@@ -124,7 +235,7 @@ func (w *World) observeVertical(v brands.Vertical, d simclock.Day, inStudy bool)
 		if attribution != "" {
 			name = attribution
 		}
-		attributedToday[name]++
+		o.attributed[name]++
 
 		// Penalised = labeled in results, or pointing at a seized store.
 		pen := s.Labeled
@@ -136,7 +247,7 @@ func (w *World) observeVertical(v brands.Vertical, d simclock.Day, inStudy bool)
 			}
 		}
 		if pen {
-			penalized++
+			o.penalized++
 		}
 
 		if inStudy {
@@ -153,35 +264,106 @@ func (w *World) observeVertical(v brands.Vertical, d simclock.Day, inStudy bool)
 			}
 			if name != Unknown {
 				vo.CampaignsSeen[name] = true
-				co := w.Data.campaignObs(name)
-				co.PSRTop100.Add(int(d), 1)
+				ca := o.campaigns[name]
+				if ca == nil {
+					ca = &campDayAgg{
+						doorways: make(map[string]bool),
+						stores:   make(map[string]bool),
+					}
+					o.campaigns[name] = ca
+				}
+				ca.top100++
 				if rank < 10 {
-					co.PSRTop10.Add(int(d), 1)
+					ca.top10++
 				}
 				if s.Labeled {
-					co.LabeledPSRs.Add(int(d), 1)
+					ca.labeled++
 				}
-				co.Doorways[s.Domain] = true
+				ca.doorways[s.Domain] = true
 				if ver.StoreDomain != "" {
-					co.StoresSeen[ver.StoreDomain] = true
+					ca.stores[ver.StoreDomain] = true
 				}
-				co.Verticals[v] = true
 			}
 		}
 	})
 
-	if slots == 0 {
+	if o.slots == 0 {
 		return
 	}
 	day := int(d)
-	vo.Top100PoisonedPct.Add(day, 100*float64(top100Poisoned)/float64(slots))
-	if top10Slots > 0 {
-		vo.Top10PoisonedPct.Add(day, 100*float64(top10Poisoned)/float64(top10Slots))
+	vo.Top100PoisonedPct.Add(day, 100*float64(o.top100Poisoned)/float64(o.slots))
+	if o.top10Slots > 0 {
+		vo.Top10PoisonedPct.Add(day, 100*float64(o.top10Poisoned)/float64(o.top10Slots))
 	}
-	vo.PenalizedPct.Add(day, 100*float64(penalized)/float64(slots))
-	for name, n := range attributedToday {
-		vo.Attributed.Layer(name).Add(day, 100*float64(n)/float64(slots))
+	vo.PenalizedPct.Add(day, 100*float64(o.penalized)/float64(o.slots))
+	// Sorted layer order keeps Stacked label insertion deterministic.
+	for _, name := range sortedKeys(o.attributed) {
+		vo.Attributed.Layer(name).Add(day, 100*float64(o.attributed[name])/float64(o.slots))
 	}
+}
+
+// commitObservation merges one vertical's deferred shared-state effects
+// into the labeler, the dataset, and the seizure engine. RunDay calls it
+// for every vertical in fixed vertical order, which makes the merged state
+// independent of how the observe phase was scheduled.
+func (w *World) commitObservation(o *dayObservation, d simclock.Day, inStudy bool) {
+	for _, ev := range o.labelerEvents {
+		w.Labeler.Observe(ev.domain, d, ev.root)
+	}
+	for dom := range o.doorNew {
+		if _, seen := w.Data.DoorFirstSeen[dom]; !seen {
+			w.Data.DoorFirstSeen[dom] = d
+		}
+	}
+	for dom := range o.storeNew {
+		if _, seen := w.Data.StoreFirstSeen[dom]; !seen {
+			w.Data.StoreFirstSeen[dom] = d
+		}
+	}
+	for id := range o.visible {
+		w.Seizure.MarkVisible(id, d)
+	}
+	day := int(d)
+	for id, wa := range o.watched {
+		ws := w.Data.WatchedPSRs[id]
+		ws.Top100.Add(day, float64(wa.top100))
+		ws.Top10.Add(day, float64(wa.top10))
+	}
+	if !inStudy {
+		return
+	}
+	for _, name := range sortedCampKeys(o.campaigns) {
+		ca := o.campaigns[name]
+		co := w.Data.campaignObs(name)
+		co.PSRTop100.Add(day, float64(ca.top100))
+		co.PSRTop10.Add(day, float64(ca.top10))
+		co.LabeledPSRs.Add(day, float64(ca.labeled))
+		for dom := range ca.doorways {
+			co.Doorways[dom] = true
+		}
+		for dom := range ca.stores {
+			co.StoresSeen[dom] = true
+		}
+		co.Verticals[o.vertical] = true
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedCampKeys(m map[string]*campDayAgg) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // doorID maps a doorway domain back to its deployment id.
@@ -192,66 +374,125 @@ func doorID(w *World, domain string) string {
 	return ""
 }
 
+// storeAgg is one store's accumulated demand for a day.
+type storeAgg struct {
+	visits float64
+	refs   map[string]int
+}
+
+// trafficShard is one vertical's demand aggregation, reused day over day.
+// Shards are merged in fixed vertical order, so per-store float sums are
+// accumulated in the same order at any worker count.
+type trafficShard struct {
+	perStore map[*store.Store]*storeAgg
+}
+
 // applyTraffic routes the day's demand: query volume spread over terms,
 // position-biased clicks on results, label deterrence, doorway forwarding
 // to stores, conversion into orders.
+//
+// The per-vertical slot walks are read-only and run in parallel, each
+// filling its own shard. Shards merge in vertical order, and each store's
+// order draw uses its own RNG substream keyed by (day, store ID) — so the
+// result does not depend on scheduling or map iteration order.
 func (w *World) applyTraffic(d simclock.Day) {
+	verticals := brands.All()
+	if w.shards == nil {
+		w.shards = make([]*trafficShard, len(verticals))
+		for i := range w.shards {
+			w.shards[i] = &trafficShard{perStore: make(map[*store.Store]*storeAgg)}
+		}
+	}
+	parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
+		w.shardTraffic(w.shards[i], verticals[i], d)
+	})
+
+	// Deterministic reduction: merge shards in vertical order, then visit
+	// stores in ID order with per-store RNG substreams.
+	merged := make(map[*store.Store]*storeAgg)
+	for _, sh := range w.shards {
+		for st, a := range sh.perStore {
+			m := merged[st]
+			if m == nil {
+				m = &storeAgg{refs: make(map[string]int, len(a.refs))}
+				merged[st] = m
+			}
+			m.visits += a.visits
+			for dom, n := range a.refs {
+				m.refs[dom] += n
+			}
+		}
+	}
+	stores := make([]*store.Store, 0, len(merged))
+	for st := range merged {
+		stores = append(stores, st)
+	}
+	sort.Slice(stores, func(i, j int) bool { return stores[i].ID() < stores[j].ID() })
+
 	tr := w.R.Sub(fmt.Sprintf("traffic/%d", d))
-	type agg struct {
-		visits float64
-		refs   map[string]int
-	}
-	perStore := make(map[*store.Store]*agg)
-	for _, v := range brands.All() {
-		volume := v.DailyQueryVolume() * w.Cfg.Scale
-		nTerms := w.Cfg.TermsPerVertical
-		w.Engine.EachSlot(v, func(termIdx, rank int, s *searchsim.Slot) {
-			if !s.Poisoned() {
-				return
-			}
-			termVol := volume * traffic.TermWeight(termIdx, nTerms)
-			clicks := w.Traffic.SlotClicks(termVol, rank, s.Labeled)
-			if clicks <= 0 {
-				return
-			}
-			st, ok := w.doorTargets[s.Doorway.ID]
-			if !ok || st == nil {
-				return
-			}
-			dom := st.CurrentDomain(d)
-			if dom == "" {
-				return
-			}
-			if _, gone := st.SeizedOn(dom); gone {
-				// Users land on the seizure notice: traffic lost.
-				return
-			}
-			a := perStore[st]
-			if a == nil {
-				a = &agg{refs: make(map[string]int)}
-				perStore[st] = a
-			}
-			a.visits += clicks
-			a.refs[s.Domain] += int(clicks * w.Traffic.ReferrerRate)
-		})
-	}
-	for st, a := range perStore {
+	for _, st := range stores {
+		a := merged[st]
 		visits := a.visits * (1 + w.Traffic.DirectVisitShare)
 		var orders float64
 		if !st.Dep.Campaign.OrdersHalted(d) && !st.PaymentHalted(d) {
-			orders = w.Traffic.Orders(tr, visits)
+			orders = w.Traffic.Orders(tr.Sub(st.ID()), visits)
 		}
 		st.RecordDay(d, visits, w.Traffic.Pages(visits), orders, a.refs)
 	}
 }
 
-// purchaseTargets lazily builds the purchase-pair target list: up to
+// shardTraffic accumulates one vertical's demand into its shard. Read-only
+// with respect to world state; store lookups go through immutable maps and
+// mutex-guarded store accessors.
+func (w *World) shardTraffic(sh *trafficShard, v brands.Vertical, d simclock.Day) {
+	clear(sh.perStore)
+	volume := v.DailyQueryVolume() * w.Cfg.Scale
+	nTerms := w.Cfg.TermsPerVertical
+	w.Engine.EachSlot(v, func(termIdx, rank int, s *searchsim.Slot) {
+		if !s.Poisoned() {
+			return
+		}
+		termVol := volume * traffic.TermWeight(termIdx, nTerms)
+		clicks := w.Traffic.SlotClicks(termVol, rank, s.Labeled)
+		if clicks <= 0 {
+			return
+		}
+		st, ok := w.doorTargets[s.Doorway.ID]
+		if !ok || st == nil {
+			return
+		}
+		dom := st.CurrentDomain(d)
+		if dom == "" {
+			return
+		}
+		if _, gone := st.SeizedOn(dom); gone {
+			// Users land on the seizure notice: traffic lost.
+			return
+		}
+		a := sh.perStore[st]
+		if a == nil {
+			a = &storeAgg{refs: make(map[string]int)}
+			sh.perStore[st] = a
+		}
+		a.visits += clicks
+		a.refs[s.Domain] += int(clicks * w.Traffic.ReferrerRate)
+	})
+}
+
+// purchaseTargets returns the purchase-pair target list: up to
 // SampleStoresPerCampaign stores per named campaign (scripted case-study
 // stores first, since deployments list them first).
+//
+// Invariant: the list is built lazily on the first in-study day and is
+// immutable afterwards — the sampler must probe a stable store set for the
+// whole study. The sync.Once guards the build against a concurrent first
+// call.
 func (w *World) purchaseTargets() []purchase.Target {
-	if w.targets != nil {
-		return w.targets
-	}
+	w.targetsOnce.Do(w.buildPurchaseTargets)
+	return w.targets
+}
+
+func (w *World) buildPurchaseTargets() {
 	for _, dep := range w.Deps {
 		if dep.Spec.IsTail() {
 			continue
@@ -268,7 +509,7 @@ func (w *World) purchaseTargets() []purchase.Target {
 			n = 4
 		}
 		for i := 0; i < n; i++ {
-			st := stores[i]
+			st := stores[i] // bind per-target; the closure below outlives the loop
 			w.targets = append(w.targets, purchase.Target{
 				StoreID:     st.ID(),
 				CampaignKey: key,
@@ -284,7 +525,6 @@ func (w *World) purchaseTargets() []purchase.Target {
 	sort.Slice(w.targets, func(i, j int) bool {
 		return w.targets[i].StoreID < w.targets[j].StoreID
 	})
-	return w.targets
 }
 
 // Finalize copies end-of-run state into the dataset: label days and

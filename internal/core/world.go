@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/brands"
 	"repro/internal/campaign"
@@ -60,8 +61,21 @@ type World struct {
 	vertStores  map[string][]*store.Store // campaignKey|vertical -> stores
 	doorTargets map[string]*store.Store   // doorway ID -> assigned store
 	doorByDom   map[string]*campaign.Doorway
+
+	// attribution caches Attribute's per-domain verdicts. Guarded by attrMu:
+	// the parallel observe phase classifies store domains from several
+	// vertical goroutines at once. Verdicts are deterministic per (domain,
+	// day), so concurrent first calls always cache the same value.
+	attrMu      sync.Mutex
 	attribution map[string]string // store domain -> campaign name or "" (unknown)
+
 	targets     []purchase.Target // purchase-pair targets, built lazily
+	targetsOnce sync.Once         // guards the lazy build (see purchaseTargets)
+
+	// obs and shards are the day pipeline's reusable per-vertical buffers
+	// (see RunDay and applyTraffic).
+	obs    []*dayObservation
+	shards []*trafficShard
 
 	Data *Dataset
 }
@@ -335,11 +349,17 @@ func (w *World) trainClassifier() {
 
 // Attribute classifies the store behind a domain into a campaign name, or
 // "" when confidence falls below the unknown threshold. Results are cached
-// per domain.
+// per domain. Attribute is safe for concurrent use: the fetch and the
+// classifier are read-only, and a domain's verdict is deterministic for a
+// given day, so racing first calls converge on the same cached value
+// (first write wins).
 func (w *World) Attribute(storeDomain string, day simclock.Day) string {
+	w.attrMu.Lock()
 	if name, ok := w.attribution[storeDomain]; ok {
+		w.attrMu.Unlock()
 		return name
 	}
+	w.attrMu.Unlock()
 	resp := w.Web.Fetch(simweb.Request{
 		URL:       "http://" + storeDomain + "/",
 		UserAgent: simweb.BrowserUA,
@@ -352,6 +372,11 @@ func (w *World) Attribute(storeDomain string, day simclock.Day) string {
 		if pred.Prob >= w.Cfg.UnknownThreshold {
 			name = pred.Label
 		}
+	}
+	w.attrMu.Lock()
+	defer w.attrMu.Unlock()
+	if cached, ok := w.attribution[storeDomain]; ok {
+		return cached
 	}
 	w.attribution[storeDomain] = name
 	return name

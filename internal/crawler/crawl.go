@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/simclock"
 )
 
@@ -11,17 +12,23 @@ import (
 // previously seen and not detected as poisoned are not re-crawled, and
 // poisoned domains are re-verified on a short period rather than daily
 // (the paper notes its own crawler can lag campaigns' redirect changes,
-// footnote 7). A bounded worker pool fans fetches out.
+// footnote 7). A bounded worker pool fans fetches out, and concurrent
+// checks of the same domain are collapsed into a single detector run so
+// parallel callers (the per-vertical observe phase) never duplicate work.
 type Crawler struct {
 	Det *Detector
 	// RecheckDays is how often a poisoned domain is re-verified so that
 	// store-domain rotation is observed.
 	RecheckDays int
-	// Workers bounds concurrent fetch chains.
+	// Workers bounds concurrent fetch chains; the pool is always clamped
+	// to the number of jobs, and <= 0 selects GOMAXPROCS.
 	Workers int
 
 	mu    sync.Mutex
 	cache map[string]Verdict
+	// inflight tracks domains a detector run is currently checking; the
+	// channel closes when the verdict lands in the cache.
+	inflight map[string]chan struct{}
 	// fetches counts detector invocations (for workload accounting).
 	fetches int
 }
@@ -29,49 +36,69 @@ type Crawler struct {
 // New returns a Crawler over the given detector.
 func New(det *Detector) *Crawler {
 	return &Crawler{Det: det, RecheckDays: 4, Workers: 8,
-		cache: make(map[string]Verdict)}
+		cache:    make(map[string]Verdict),
+		inflight: make(map[string]chan struct{})}
 }
 
 // CheckDomain returns the verdict for a domain, fetching only when the
 // cache does not already answer: clean domains are never re-fetched,
-// poisoned domains are re-verified every RecheckDays.
+// poisoned domains are re-verified every RecheckDays. Safe for concurrent
+// use; concurrent callers for the same domain share one detector run.
 func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdict {
-	c.mu.Lock()
-	v, seen := c.cache[domain]
-	c.mu.Unlock()
-	if seen {
-		if !v.Cloaked {
-			return v
+	for {
+		c.mu.Lock()
+		v, seen := c.cache[domain]
+		if seen {
+			if !v.Cloaked || int(day-v.CheckedDay) < c.RecheckDays {
+				c.mu.Unlock()
+				return v
+			}
 		}
-		if int(day-v.CheckedDay) < c.RecheckDays {
-			return v
+		if ch, busy := c.inflight[domain]; busy {
+			// Another goroutine is already running the detector for this
+			// domain; wait for its verdict and re-consult the cache.
+			c.mu.Unlock()
+			<-ch
+			continue
 		}
-	}
-	nv := c.Det.CheckURL(sampleURL, day)
-	c.mu.Lock()
-	c.fetches++
-	// A domain once seen cloaking stays attributed even if a later check
-	// finds it dark (e.g. its campaign stopped): keep the stronger verdict
-	// but refresh the landing store when the recheck still sees cloaking.
-	if seen && v.Cloaked && !nv.Cloaked {
-		v.CheckedDay = day
-		c.cache[domain] = v
+		ch := make(chan struct{})
+		if c.inflight == nil {
+			c.inflight = make(map[string]chan struct{})
+		}
+		c.inflight[domain] = ch
 		c.mu.Unlock()
-		return v
-	}
-	// Indeterminate checks (transient fetch failures) are not cached:
-	// the next query retries them rather than freezing a "clean" verdict.
-	if nv.Indeterminate && !nv.Cloaked {
+
+		nv := c.Det.CheckURL(sampleURL, day)
+
+		c.mu.Lock()
+		c.fetches++
+		delete(c.inflight, domain)
+		close(ch)
+		// A domain once seen cloaking stays attributed even if a later check
+		// finds it dark (e.g. its campaign stopped): keep the stronger verdict
+		// but refresh the landing store when the recheck still sees cloaking.
+		if seen && v.Cloaked && !nv.Cloaked {
+			v.CheckedDay = day
+			c.cache[domain] = v
+			c.mu.Unlock()
+			return v
+		}
+		// Indeterminate checks (transient fetch failures) are not cached:
+		// the next query retries them rather than freezing a "clean" verdict.
+		if nv.Indeterminate && !nv.Cloaked {
+			c.mu.Unlock()
+			return nv
+		}
+		c.cache[domain] = nv
 		c.mu.Unlock()
 		return nv
 	}
-	c.cache[domain] = nv
-	c.mu.Unlock()
-	return nv
 }
 
-// CheckDomains fans CheckDomain over many domains with the worker pool and
-// returns the verdicts keyed by domain.
+// CheckDomains fans CheckDomain over many domains with the shared worker
+// pool and returns the verdicts keyed by domain. The pool never exceeds the
+// job count, and each verdict slot is written by exactly one worker, so the
+// result is independent of scheduling.
 func (c *Crawler) CheckDomains(urls map[string]string, day simclock.Day) map[string]Verdict {
 	type job struct{ domain, url string }
 	jobs := make([]job, 0, len(urls))
@@ -81,31 +108,14 @@ func (c *Crawler) CheckDomains(urls map[string]string, day simclock.Day) map[str
 	// Deterministic order keeps the fetch sequence stable across runs.
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].domain < jobs[j].domain })
 
+	verdicts := make([]Verdict, len(jobs))
+	parallel.ForEach(c.Workers, len(jobs), func(i int) {
+		verdicts[i] = c.CheckDomain(jobs[i].domain, jobs[i].url, day)
+	})
 	out := make(map[string]Verdict, len(jobs))
-	var outMu sync.Mutex
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	workers := c.Workers
-	if workers < 1 {
-		workers = 1
+	for i, j := range jobs {
+		out[j.domain] = verdicts[i]
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				v := c.CheckDomain(j.domain, j.url, day)
-				outMu.Lock()
-				out[j.domain] = v
-				outMu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
 	return out
 }
 

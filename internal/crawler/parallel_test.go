@@ -1,0 +1,128 @@
+package crawler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simweb"
+)
+
+// countingFetcher wraps a Fetcher and tracks the peak number of concurrent
+// fetches, with a small sleep so overlapping workers actually overlap.
+type countingFetcher struct {
+	inner     simweb.Fetcher
+	cur, peak atomic.Int64
+}
+
+func (c *countingFetcher) enter() {
+	cur := c.cur.Add(1)
+	for {
+		p := c.peak.Load()
+		if cur <= p || c.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+func (c *countingFetcher) Fetch(req simweb.Request) simweb.Response {
+	c.enter()
+	defer c.cur.Add(-1)
+	time.Sleep(time.Millisecond)
+	return c.inner.Fetch(req)
+}
+
+func (c *countingFetcher) FetchFollow(req simweb.Request, maxHops int) (simweb.Response, string) {
+	c.enter()
+	defer c.cur.Add(-1)
+	time.Sleep(time.Millisecond)
+	return c.inner.FetchFollow(req, maxHops)
+}
+
+// TestCheckDomainsClampsPool pins the satellite fix: a crawler configured
+// with far more workers than jobs must never run more concurrent fetch
+// chains than it has domains to check.
+func TestCheckDomainsClampsPool(t *testing.T) {
+	f := build(t)
+	cf := &countingFetcher{inner: f.web}
+	c := New(NewDetector(cf))
+	c.Workers = 64
+
+	urls := map[string]string{
+		f.doorDom["KEY"]:     f.doorURL["KEY"],
+		f.doorDom["NEWSORG"]: f.doorURL["NEWSORG"],
+	}
+	c.CheckDomains(urls, 0)
+	if peak := cf.peak.Load(); peak > int64(len(urls)) {
+		t.Fatalf("peak concurrent fetches = %d with only %d jobs", peak, len(urls))
+	}
+}
+
+// TestCheckDomainSharesInflightRun asserts that concurrent callers asking
+// about the same domain collapse onto a single detector run — the fetch
+// count must match what a lone caller would have produced.
+func TestCheckDomainSharesInflightRun(t *testing.T) {
+	f := build(t)
+	c := New(f.det)
+	dom, url := f.doorDom["KEY"], f.doorURL["KEY"]
+
+	const callers = 8
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	verdicts := make([]Verdict, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			verdicts[i] = c.CheckDomain(dom, url, 0)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if got := c.Fetches(); got != 1 {
+		t.Fatalf("detector ran %d times for one domain", got)
+	}
+	for i, v := range verdicts {
+		if !v.Cloaked || v.StoreDomain != verdicts[0].StoreDomain {
+			t.Fatalf("caller %d saw verdict %+v, caller 0 saw %+v", i, v, verdicts[0])
+		}
+	}
+}
+
+// TestCheckDomainsFetchCountsMatchSerial runs the same batch on one worker
+// and on many and requires identical verdicts and — thanks to the in-flight
+// dedup — identical detector workloads.
+func TestCheckDomainsFetchCountsMatchSerial(t *testing.T) {
+	f := build(t)
+	urls := map[string]string{
+		f.doorDom["KEY"]:        f.doorURL["KEY"],
+		f.doorDom["NEWSORG"]:    f.doorURL["NEWSORG"],
+		f.doorDom["MOONKIS"]:    f.doorURL["MOONKIS"],
+		f.doorDom["NORTHFACEC"]: f.doorURL["NORTHFACEC"],
+		"benign-reviews.org":    "http://benign-reviews.org/",
+	}
+
+	serial := New(NewDetector(f.web))
+	serial.Workers = 1
+	sv := serial.CheckDomains(urls, 0)
+
+	par := New(NewDetector(f.web))
+	par.Workers = 8
+	pv := par.CheckDomains(urls, 0)
+
+	if len(sv) != len(pv) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(sv), len(pv))
+	}
+	for dom, v := range sv {
+		p := pv[dom]
+		if v.Cloaked != p.Cloaked || v.StoreDomain != p.StoreDomain || v.Detector != p.Detector {
+			t.Fatalf("%s: serial %+v vs parallel %+v", dom, v, p)
+		}
+	}
+	if serial.Fetches() != par.Fetches() {
+		t.Fatalf("fetch counts differ: serial=%d parallel=%d", serial.Fetches(), par.Fetches())
+	}
+}

@@ -311,6 +311,8 @@ func BenchmarkTokenize(b *testing.B) {
 
 func BenchmarkTriplets(b *testing.B) {
 	src := strings.Repeat(`<div class="product"><a href="/item?id=1">Buy</a></div>`, 100)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {
 		Triplets(src)
 	}

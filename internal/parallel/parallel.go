@@ -1,0 +1,77 @@
+// Package parallel provides the bounded worker pool the measurement
+// pipeline fans out on: the per-vertical daily observation, the crawler's
+// domain checks, and per-class classifier training all share it instead of
+// rolling ad-hoc goroutine pools.
+//
+// The pool is deliberately minimal: work items are identified by index, the
+// pool size is clamped to the item count (never spawn idle goroutines), and
+// a single-worker pool degenerates to an inline loop with zero goroutine or
+// channel overhead — important because determinism tests run the whole
+// study at workers=1 and compare bit-for-bit against parallel runs.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values <= 0 select
+// GOMAXPROCS, so a zero Config field means "use the machine".
+func Workers(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing calls over at
+// most workers goroutines (clamped to n; workers <= 0 means GOMAXPROCS).
+// fn must be safe for concurrent invocation; ForEach returns only after
+// every call has completed. Indices are handed out in order, but callers
+// must not rely on completion order — any cross-item reduction has to
+// happen after ForEach returns, in a deterministic order of the caller's
+// choosing.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in on a ForEach pool and returns the
+// results in input order. Each slot of the result is written by exactly one
+// worker, so no locking is needed and the output is independent of
+// scheduling.
+func Map[T, R any](workers int, in []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(in))
+	ForEach(workers, len(in), func(i int) {
+		out[i] = fn(i, in[i])
+	})
+	return out
+}

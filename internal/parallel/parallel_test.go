@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			var hits = make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachClampsPoolToJobs asserts no more goroutines run concurrently
+// than there are items, even when the pool is configured far larger.
+func TestForEachClampsPoolToJobs(t *testing.T) {
+	const jobs = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	ForEach(64, jobs, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > jobs {
+		t.Fatalf("peak concurrency %d exceeds job count %d", peak, jobs)
+	}
+}
+
+// TestForEachSingleWorkerIsInline asserts the workers=1 path runs on the
+// calling goroutine in index order (the determinism baseline).
+func TestForEachSingleWorkerIsInline(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 200)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(8, in, func(_ int, v int) int { return v * v })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}

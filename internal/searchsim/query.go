@@ -36,6 +36,14 @@ func (e *Engine) SERP(v brands.Vertical, termIdx int) []Slot {
 
 // EachSlot visits every current slot of a vertical in (term, rank) order.
 // The callback must not retain the slot pointer.
+//
+// EachSlot holds the engine's read lock for the whole walk, so any number
+// of goroutines may run EachSlot (and the other RLock readers — LabeledOn,
+// Demoted, CountPoisoned) concurrently; the day pipeline's observe phase
+// relies on this. Callbacks may call the read-side accessors (Go RWMutex
+// read locks are recursive-safe as long as no writer is waiting) but must
+// not call Label, Demote, or Advance: writers are excluded until every
+// observe worker finishes its walk.
 func (e *Engine) EachSlot(v brands.Vertical, fn func(termIdx, rank int, s *Slot)) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
