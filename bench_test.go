@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 var (
@@ -130,6 +131,40 @@ func BenchmarkSimulatedDayParallel(b *testing.B) {
 	cfg.ObserveWorkers = runtime.NumCPU()
 	cfg.CrawlWorkers = runtime.NumCPU()
 	s := NewStudy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.World.RunDay(0)
+	}
+}
+
+// BenchmarkSimulatedDayFaultsOff is BenchmarkSimulatedDayParallel with the
+// fault-injection layer explicitly disabled (the zero faults.Config): the
+// delta against BenchmarkSimulatedDayParallel is the cost of having the
+// fault hook in the codebase, which must be nil — the disabled path builds
+// no plan, wraps no fetcher, and allocates nothing per request.
+func BenchmarkSimulatedDayFaultsOff(b *testing.B) {
+	cfg := ablationConfig()
+	cfg.ObserveWorkers = runtime.NumCPU()
+	cfg.CrawlWorkers = runtime.NumCPU()
+	cfg.Faults = faults.Config{}
+	s := NewStudy(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.World.RunDay(0)
+	}
+}
+
+// BenchmarkSimulatedDayFaultsModerate is the contrast: the same day under
+// the moderate injection profile, paying for the per-request hash rolls,
+// retries and breaker accounting. It bounds what a robustness study costs.
+func BenchmarkSimulatedDayFaultsModerate(b *testing.B) {
+	cfg := ablationConfig()
+	cfg.ObserveWorkers = runtime.NumCPU()
+	cfg.CrawlWorkers = runtime.NumCPU()
+	cfg.Faults, _ = faults.Profile("moderate")
+	s := NewStudy(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.World.RunDay(0)

@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	crawlerd [-addr 127.0.0.1:0] [-day 30] [-max 200] [-serve-only]
+//	crawlerd [-addr 127.0.0.1:0] [-day 30] [-max 200] [-serve-only] [-faults off]
 //
 // With -serve-only it just serves the web (useful for poking at doorways
 // with curl: set the User-Agent and Referer headers and the ?simhost=
-// query parameter to select the site).
+// query parameter to select the site). With -faults moderate|severe the
+// server injects deterministic faults on the wire — dropped connections,
+// 502s, truncated bodies — and the crawler runs with retries and circuit
+// breakers, so the whole resilient pipeline can be exercised over real
+// sockets.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -20,9 +26,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/faults"
 	"repro/internal/searchsim"
 	"repro/internal/simclock"
 	"repro/internal/simweb"
@@ -30,17 +39,71 @@ import (
 	"repro/internal/brands"
 )
 
+// requestTimeout bounds one simulated-page render; handlerFor mounts it via
+// http.TimeoutHandler inside the fault layer (the fault layer needs the raw
+// connection for its drop injections).
+const requestTimeout = 5 * time.Second
+
+// newServer wraps a handler in an http.Server with explicit I/O deadlines,
+// so a stuck or malicious client cannot pin a connection (and a wedged
+// handler cannot pin a response) forever.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// handlerFor assembles the serving stack: per-request deadline innermost,
+// fault injection outermost (injection decides per request whether to sever
+// the raw connection, answer 502, or truncate the page).
+func handlerFor(p *faults.Plan, web http.Handler) http.Handler {
+	return faults.Handler(p, http.TimeoutHandler(web, requestTimeout, "simulated web: render timeout"))
+}
+
+// serve runs srv on ln until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately but in-flight requests drain (bounded by
+// drainTimeout) before serve returns.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
 		day       = flag.Int("day", 30, "simulation day to crawl")
 		maxDom    = flag.Int("max", 200, "max domains to crawl")
 		serveOnly = flag.Bool("serve-only", false, "serve the simulated web and wait")
+		faultsArg = flag.String("faults", "off", "fault-injection profile (off|moderate|severe)")
 	)
 	flag.Parse()
 
+	faultCfg, err := faults.Profile(*faultsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := core.TestConfig()
 	cfg.ExtendedTail = false
+	cfg.Faults = faultCfg
 	fmt.Println("building simulated world...")
 	w := core.NewWorld(cfg)
 	w.Engine.Advance(simclock.Day(*day))
@@ -53,21 +116,36 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("serving %d simulated domains on %s\n", w.Web.Domains(), base)
 	fmt.Printf("example: curl -H 'User-Agent: Googlebot' '%s/?simhost=<domain>&u=/'\n", base)
-	go func() {
-		if err := http.Serve(ln, w.Web); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-	}()
-
-	if *serveOnly {
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
-		return
+	if faultCfg.Enabled() {
+		fmt.Printf("fault profile %q mounted on the wire\n", *faultsArg)
 	}
 
-	// Crawl today's SERPs over the real socket.
-	det := crawler.NewDetector(simweb.NewHTTPFetcher(base))
+	// SIGTERM/SIGINT drain the server instead of killing in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := newServer(handlerFor(w.Faults, w.Web))
+
+	if *serveOnly {
+		if err := serve(ctx, srv, ln, 10*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("drained, bye")
+		return
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln, 10*time.Second) }()
+
+	// Crawl today's SERPs over the real socket. Under fault injection the
+	// HTTP fetcher is wrapped with the same retry + circuit-breaker policy
+	// the in-process study pipeline uses.
+	var fetch simweb.Fetcher = simweb.NewHTTPFetcher(base)
+	var resilient *crawler.ResilientFetcher
+	if faultCfg.Enabled() {
+		resilient = crawler.NewResilientFetcher(fetch, crawler.DefaultResilience(), cfg.Seed)
+		fetch = resilient
+	}
+	det := crawler.NewDetector(fetch)
 	c := crawler.New(det)
 	urls := make(map[string]string)
 	for _, v := range brands.All() {
@@ -87,9 +165,13 @@ func main() {
 		v      crawler.Verdict
 	}
 	var poisoned []row
+	unknown := 0
 	for dom, v := range verdicts {
 		if v.Cloaked {
 			poisoned = append(poisoned, row{dom, v})
+		}
+		if v.Unknown {
+			unknown++
 		}
 	}
 	sort.Slice(poisoned, func(i, j int) bool { return poisoned[i].domain < poisoned[j].domain })
@@ -101,5 +183,17 @@ func main() {
 		}
 		fmt.Printf("  %-34s %-16s store=%-30s campaign=%s\n",
 			r.domain, r.v.Detector, r.v.StoreDomain, truth)
+	}
+	if resilient != nil {
+		st := resilient.Stats()
+		fmt.Printf("\n%d domains unknown (fetches failed; would be re-queued); %d attempts, %d retries, %d failed chains, %d short-circuited\n",
+			unknown, st.Attempts, st.Retries, st.Failures, st.ShortCircuit)
+	}
+
+	// Drain the server before exiting.
+	stop()
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

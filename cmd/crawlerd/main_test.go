@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// gatedHandler blocks each request until release is closed, signalling
+// started on arrival — a stand-in for a slow page render caught mid-flight
+// by a shutdown.
+type gatedHandler struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedHandler() *gatedHandler {
+	return &gatedHandler{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedHandler) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	rw.WriteHeader(http.StatusOK)
+	io.WriteString(rw, "drained ok")
+}
+
+func TestServerHasExplicitDeadlines(t *testing.T) {
+	srv := newServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("server missing I/O deadlines: %+v", srv)
+	}
+}
+
+// TestSigtermDrainsInflightRequests is the shutdown smoke test: a SIGTERM
+// arriving while a request is in flight must stop the listener but let the
+// request finish with a complete response before serve returns.
+func TestSigtermDrainsInflightRequests(t *testing.T) {
+	g := newGatedHandler()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(g)
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-g.started // request is now in flight
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	<-ctx.Done() // the signal reached the drain context
+
+	// The listener must refuse new work while the old request drains.
+	refused := false
+	for i := 0; i < 100; i++ {
+		if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err != nil {
+			refused = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("listener still accepting connections after SIGTERM")
+	}
+
+	close(g.release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request killed by shutdown: %v", r.err)
+	}
+	if r.body != "drained ok" {
+		t.Fatalf("in-flight response truncated: %q", r.body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve returned error after graceful drain: %v", err)
+	}
+}
+
+// TestServeStopsOnContextCancel covers the programmatic path main uses when
+// the crawl finishes: cancelling the context drains and returns nil.
+func TestServeStopsOnContextCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := newServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, "ok")
+	}))
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+}
+
+// TestHandlerForWithoutFaultsStillServes: the nil-plan stack (fault
+// injection off) must pass requests through the deadline wrapper untouched.
+func TestHandlerForWithoutFaultsStillServes(t *testing.T) {
+	h := handlerFor(nil, http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, "page")
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := newServer(h)
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, time.Second) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(b) != "page" {
+		t.Fatalf("got %d %q", resp.StatusCode, b)
+	}
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	searchseizure "repro"
 	"repro/internal/export"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -27,8 +28,15 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "study seed (same seed => identical results)")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations (slow)")
 		out       = flag.String("out", "", "export summary.json and series CSVs into this directory")
+		faultsArg = flag.String("faults", "off", "fault-injection profile for the crawl pipeline (off|moderate|severe)")
 	)
 	flag.Parse()
+
+	faultCfg, err := faults.Profile(*faultsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := searchseizure.DefaultConfig()
 	cfg.Scale = *scale
@@ -37,6 +45,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TailCampaigns = 18
 	cfg.SeedDocsTarget = 350
+	cfg.Faults = faultCfg
 
 	fmt.Printf("building world (scale=%.2f, %d terms x %d slots, seed %d)...\n",
 		cfg.Scale, cfg.TermsPerVertical, cfg.SlotsPerTerm, cfg.Seed)
@@ -48,10 +57,18 @@ func main() {
 	fmt.Println("running the longitudinal study (2013-11-13 .. 2014-08-31)...")
 	start = time.Now()
 	data := study.Run()
-	fmt.Printf("study complete in %v: %d PSR observations, %d doorways, %d stores, %.0f%% attributed\n\n",
+	fmt.Printf("study complete in %v: %d PSR observations, %d doorways, %d stores, %.0f%% attributed\n",
 		time.Since(start).Round(time.Millisecond),
 		data.TotalPSRs(), data.TotalDoorways(), data.TotalStores(),
 		100*data.AttributedShare())
+	if faultCfg.Enabled() {
+		st := study.World.Resilient.Stats()
+		fmt.Printf("fault profile %q: crawl coverage %.1f%%, %d outage days; %d fetch attempts (%d retries, %d failed chains, %d short-circuited), %s simulated backoff\n",
+			*faultsArg, 100*data.MeanCoverage(), data.OutageDays(),
+			st.Attempts, st.Retries, st.Failures, st.ShortCircuit,
+			(time.Duration(st.SimBackoffMS) * time.Millisecond).Round(time.Millisecond))
+	}
+	fmt.Println()
 
 	if *out != "" {
 		if err := export.Dir(*out, data); err != nil {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"repro/internal/faults"
 	"repro/internal/simclock"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// work (§4.3.2).
 	BreakBank    string
 	BreakBankDay int
+	// Faults configures deterministic fault injection against the crawl
+	// pipeline (timeouts, 5xx, truncated bodies, dead-domain days, SERP
+	// rate limits, whole-day outages). The zero value disables injection
+	// and leaves the pipeline bit-identical to a fault-free build; see
+	// faults.Profile for the study presets.
+	Faults faults.Config
 }
 
 // DefaultConfig is the paper-scale configuration.

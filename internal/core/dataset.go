@@ -100,6 +100,22 @@ type Dataset struct {
 	// and PHP?P= stores of Figures 5 and 6), keyed by store id.
 	WatchedPSRs map[string]*WatchedStore
 
+	// FaultsEnabled records whether the study ran under fault injection.
+	// The three fields below are allocated (and folded into Fingerprint)
+	// only then, so fault-free datasets hash bit-identically to builds
+	// that predate the fault layer.
+	FaultsEnabled bool
+	// Coverage is the per-day fraction of SERP slots the crawl observed
+	// with a determinate verdict (1.0 = full coverage; 0 on outage days).
+	// It is the loss mask for every per-day series in the dataset: a zero
+	// in, say, Top100PoisonedPct on a day with Coverage 0 means "not
+	// measured", not "no poisoning" — mirroring the real study's lost
+	// crawl days.
+	Coverage metrics.Series
+	// ObservedDays is the coverage mask: false on whole-day crawler
+	// outages, when no observation of any kind was made.
+	ObservedDays []bool
+
 	world *World
 }
 
@@ -135,6 +151,14 @@ func NewDataset(w *World) *Dataset {
 		world:          w,
 	}
 	days := w.Sim.Days()
+	if w.Faults != nil {
+		d.FaultsEnabled = true
+		d.Coverage = metrics.NewSeries(days)
+		d.ObservedDays = make([]bool, days)
+		for i := range d.ObservedDays {
+			d.ObservedDays[i] = true
+		}
+	}
 	for _, v := range brands.All() {
 		d.Verticals[v] = &VerticalObs{
 			Vertical:          v,
@@ -187,6 +211,53 @@ func (d *Dataset) recordSeizure(domain string, c *intervention.CourtCase) {
 	})
 }
 
+// recordOutage marks a whole-day crawler outage in the coverage mask.
+func (d *Dataset) recordOutage(day simclock.Day) {
+	if !d.FaultsEnabled {
+		return
+	}
+	if int(day) >= 0 && int(day) < len(d.ObservedDays) {
+		d.ObservedDays[day] = false
+	}
+	// Coverage[day] stays 0: nothing was observed.
+}
+
+// recordCoverage books the day's observed-slot fraction. A day with no
+// slots at all counts as fully covered — there was nothing to lose.
+func (d *Dataset) recordCoverage(day simclock.Day, covered, total int) {
+	if !d.FaultsEnabled {
+		return
+	}
+	frac := 1.0
+	if total > 0 {
+		frac = float64(covered) / float64(total)
+	}
+	d.Coverage.Add(int(day), frac)
+}
+
+// MeanCoverage is the study-wide average per-day crawl coverage: 1.0 for a
+// fault-free run, below 1.0 when slots or whole days were lost. Downstream
+// consumers should read absolute daily counts (PSRs, order estimates)
+// against this — the paper's own totals sit on top of its lost crawl days
+// the same way.
+func (d *Dataset) MeanCoverage() float64 {
+	if !d.FaultsEnabled {
+		return 1
+	}
+	return d.Coverage.Mean()
+}
+
+// OutageDays counts whole days the crawler was down.
+func (d *Dataset) OutageDays() int {
+	var n int
+	for _, ok := range d.ObservedDays {
+		if !ok {
+			n++
+		}
+	}
+	return n
+}
+
 func (d *Dataset) recordReaction(st *store.Store, newDomain string, day simclock.Day) {
 	d.Reactions = append(d.Reactions, Reaction{
 		StoreID: st.ID(), Day: day, NewDomain: newDomain,
@@ -225,7 +296,11 @@ func (d *Dataset) TotalStores() int {
 }
 
 // AttributedShare returns the fraction of PSR observations attributed to
-// named campaigns (the paper classified 58%).
+// named campaigns (the paper classified 58%). The share is loss-aware by
+// construction: it is a ratio over *observed* slots only — lost slots and
+// outage days contribute zero to both numerator and denominator (see
+// Coverage for how much was lost), so missing data cannot masquerade as
+// unattributed traffic.
 func (d *Dataset) AttributedShare() float64 {
 	// Fold in fixed vertical/label order: float addition is not associative,
 	// so map-order iteration would wobble the last bits between calls.
@@ -387,6 +462,19 @@ func (d *Dataset) Fingerprint() uint64 {
 		str(id)
 		series(ws.Top100)
 		series(ws.Top10)
+	}
+	// Coverage folds in only for fault-injected studies, so fault-free
+	// fingerprints stay bit-identical to the pre-fault pipeline (the CI
+	// golden-value check depends on this).
+	if d.FaultsEnabled {
+		series(d.Coverage)
+		for _, ok := range d.ObservedDays {
+			if ok {
+				u64(1)
+			} else {
+				u64(0)
+			}
+		}
 	}
 	return h.Sum64()
 }

@@ -45,13 +45,30 @@ func (w *World) RunDay(d simclock.Day) {
 	w.Seizure.Tick(d)
 
 	inStudy := int(d) < w.Study.Days()
-	verticals := brands.All()
-	obs := w.dayObs(len(verticals))
-	parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
-		w.observeVertical(obs[i], verticals[i], d, inStudy)
-	})
-	for _, o := range obs {
-		w.commitObservation(o, d, inStudy)
+	if w.Faults.OutageDay(d) {
+		// Whole-day crawler outage: the observe phase skips exactly like
+		// the paper's real coverage gaps. The world does not pause for it —
+		// users click, interventions fire, campaigns rotate — only the
+		// measurement goes dark, and the dataset's coverage mask records
+		// the gap so downstream numbers are loss-aware.
+		w.Data.recordOutage(d)
+	} else {
+		verticals := brands.All()
+		obs := w.dayObs(len(verticals))
+		parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
+			w.observeVertical(obs[i], verticals[i], d, inStudy)
+		})
+		for _, o := range obs {
+			w.commitObservation(o, d, inStudy)
+		}
+		if w.Faults != nil {
+			var covered, lost int
+			for _, o := range obs {
+				covered += o.slots
+				lost += o.lostSlots
+			}
+			w.Data.recordCoverage(d, covered, covered+lost)
+		}
 	}
 
 	w.Labeler.Tick(d, w.Engine, w.Specs, w.Deps)
@@ -126,6 +143,19 @@ type dayObservation struct {
 	penalized                     int
 	attributed                    map[string]int
 
+	// lostSlots counts slots the crawl could not observe this day: their
+	// term's SERP was rate-limited away, or every fetch for the domain
+	// failed (Unknown verdict). Lost slots are excluded from both the
+	// numerators and denominators of the poisoning percentages — an
+	// unobserved slot is missing data, not a clean result — and feed the
+	// dataset's per-day coverage.
+	lostSlots int
+	// limitedTerms flags this vertical's rate-limited terms for the day
+	// (nil when faults are off — the zero-cost path); limitedScratch is its
+	// reusable backing array.
+	limitedTerms   []bool
+	limitedScratch []bool
+
 	// deferred shared-state effects, replayed by the commit phase.
 	labelerEvents []labelerEvent
 	doorNew       map[string]bool // doorway domains not yet in DoorFirstSeen
@@ -161,6 +191,7 @@ func (o *dayObservation) reset() {
 	o.slots, o.top10Slots = 0, 0
 	o.top100Poisoned, o.top10Poisoned = 0, 0
 	o.penalized = 0
+	o.lostSlots = 0
 	clear(o.attributed)
 	o.labelerEvents = o.labelerEvents[:0]
 	clear(o.doorNew)
@@ -168,6 +199,11 @@ func (o *dayObservation) reset() {
 	clear(o.visible)
 	clear(o.watched)
 	clear(o.campaigns)
+}
+
+// limited reports whether a term's SERP was rate-limited away this day.
+func (o *dayObservation) limited(term int) bool {
+	return o.limitedTerms != nil && term < len(o.limitedTerms) && o.limitedTerms[term]
 }
 
 // observeVertical runs the day's crawl over one vertical's SERPs and
@@ -183,20 +219,49 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 	o.vo = w.Data.Verticals[v]
 	vo := o.vo
 
+	// Pre-compute the day's rate-limited terms (faults only): losing a term
+	// means its SERP never arrives, so its slots contribute no fetches and
+	// no observations, only lost coverage.
+	o.limitedTerms = nil
+	if w.Faults.Config().RateLimitRate > 0 {
+		n := w.Cfg.TermsPerVertical
+		if cap(o.limitedScratch) < n {
+			o.limitedScratch = make([]bool, n)
+		}
+		o.limitedTerms = o.limitedScratch[:n]
+		for t := 0; t < n; t++ {
+			o.limitedTerms[t] = w.Faults.SerpRateLimited(int(v), t, d)
+		}
+	}
+
 	// Collect the day's unique doorway-candidate domains with sample URLs.
-	w.Engine.EachSlot(v, func(_, _ int, s *searchsim.Slot) {
+	w.Engine.EachSlot(v, func(term, _ int, s *searchsim.Slot) {
+		if o.limited(term) {
+			return
+		}
 		if _, dup := o.urls[s.Domain]; !dup {
 			o.urls[s.Domain] = s.URL
 		}
 	})
 	verdicts := w.Crawler.CheckDomains(o.urls, d)
 
-	w.Engine.EachSlot(v, func(_, rank int, s *searchsim.Slot) {
+	w.Engine.EachSlot(v, func(term, rank int, s *searchsim.Slot) {
+		if o.limited(term) {
+			o.lostSlots++
+			return
+		}
+		ver := verdicts[s.Domain]
+		if ver.Unknown && !ver.Cloaked {
+			// Every fetch for this domain failed after retries (or its
+			// breaker is open): the slot was not observed. It must not be
+			// counted clean — the domain re-queues when it next surfaces.
+			o.lostSlots++
+			return
+		}
 		o.slots++
 		if rank < 10 {
 			o.top10Slots++
 		}
-		ver := verdicts[s.Domain]
 		if !ver.Cloaked {
 			return
 		}

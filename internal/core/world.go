@@ -10,6 +10,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/cnc"
 	"repro/internal/crawler"
+	"repro/internal/faults"
 	"repro/internal/htmlgen"
 	"repro/internal/intervention"
 	"repro/internal/purchase"
@@ -48,6 +49,15 @@ type World struct {
 	Labeler *intervention.Labeler
 	Seizure *intervention.SeizureEngine
 	Sampler *purchase.Sampler
+
+	// Faults is the deterministic fault plan the crawl pipeline runs
+	// against, nil when Config.Faults is disabled (the common case: every
+	// fault check is a nil-receiver no-op, so the fault-free hot path pays
+	// nothing).
+	Faults *faults.Plan
+	// Resilient is the retry/circuit-breaker fetch layer mounted between
+	// fault injection and the detector; nil when faults are disabled.
+	Resilient *crawler.ResilientFetcher
 
 	Classifier *classify.Model
 	SeedDocs   []classify.Doc
@@ -175,8 +185,25 @@ func NewWorld(cfg Config) *World {
 	scfg.SlotsPerTerm = cfg.SlotsPerTerm
 	w.Engine = searchsim.New(scfg, r, w.Deps, termSets)
 
-	// Measurement apparatus.
-	det := crawler.NewDetector(w.Web)
+	// Measurement apparatus. With fault injection enabled, the detector's
+	// fetch path is web -> fault injection -> retries/circuit breakers;
+	// with it disabled the detector talks to the web directly — the exact
+	// pre-fault call chain, so fault-free runs stay bit-identical and pay
+	// zero overhead. (Note faults degrade only the *measurement* — the
+	// crawler's view. Users, interventions and the purchase sampler keep
+	// operating: the paper's crawler lost days while Google and the
+	// campaigns did not.)
+	var crawlFetch simweb.Fetcher = w.Web
+	if cfg.Faults.Enabled() {
+		w.Faults = faults.NewPlan(r, cfg.Faults)
+		w.Resilient = crawler.NewResilientFetcher(
+			faults.Wrap(w.Faults, w.Web),
+			crawler.DefaultResilience(),
+			r.Sub("crawler/backoff").Uint64(),
+		)
+		crawlFetch = w.Resilient
+	}
+	det := crawler.NewDetector(crawlFetch)
 	det.Opts.EnableVanGogh = cfg.VanGogh
 	det.Opts.RenderOnDagger = cfg.RenderOnDagger
 	w.Crawler = crawler.New(det)

@@ -27,72 +27,95 @@ type Crawler struct {
 	mu    sync.Mutex
 	cache map[string]Verdict
 	// inflight tracks domains a detector run is currently checking; the
-	// channel closes when the verdict lands in the cache.
-	inflight map[string]chan struct{}
+	// call's done channel closes once its verdict is published.
+	inflight map[string]*inflightCall
 	// fetches counts detector invocations (for workload accounting).
 	fetches int
+}
+
+// inflightCall is one in-progress detector run. The runner stores its raw
+// verdict in v before closing done; waiters read v only after <-done (the
+// close establishes the happens-before edge).
+type inflightCall struct {
+	done chan struct{}
+	v    Verdict
 }
 
 // New returns a Crawler over the given detector.
 func New(det *Detector) *Crawler {
 	return &Crawler{Det: det, RecheckDays: 4, Workers: 8,
 		cache:    make(map[string]Verdict),
-		inflight: make(map[string]chan struct{})}
+		inflight: make(map[string]*inflightCall)}
 }
 
 // CheckDomain returns the verdict for a domain, fetching only when the
 // cache does not already answer: clean domains are never re-fetched,
 // poisoned domains are re-verified every RecheckDays. Safe for concurrent
 // use; concurrent callers for the same domain share one detector run.
+//
+// A caller that finds another goroutine's run in flight adopts that run's
+// verdict directly (merged against the same cache snapshot the runner saw)
+// instead of looping back to re-consult the cache. This bounds the wait to
+// a single re-consult even when the racing run returns a weaker,
+// uncacheable verdict — the old retry loop could spin for as long as other
+// callers kept the domain in flight — and guarantees every concurrent
+// caller for a (domain, day) pair returns the identical verdict, which the
+// deterministic day pipeline depends on.
 func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdict {
-	for {
-		c.mu.Lock()
-		v, seen := c.cache[domain]
-		if seen {
-			if !v.Cloaked || int(day-v.CheckedDay) < c.RecheckDays {
-				c.mu.Unlock()
-				return v
-			}
-		}
-		if ch, busy := c.inflight[domain]; busy {
-			// Another goroutine is already running the detector for this
-			// domain; wait for its verdict and re-consult the cache.
-			c.mu.Unlock()
-			<-ch
-			continue
-		}
-		ch := make(chan struct{})
-		if c.inflight == nil {
-			c.inflight = make(map[string]chan struct{})
-		}
-		c.inflight[domain] = ch
+	c.mu.Lock()
+	v, seen := c.cache[domain]
+	if seen && (!v.Cloaked || int(day-v.CheckedDay) < c.RecheckDays) {
 		c.mu.Unlock()
-
-		nv := c.Det.CheckURL(sampleURL, day)
-
-		c.mu.Lock()
-		c.fetches++
-		delete(c.inflight, domain)
-		close(ch)
-		// A domain once seen cloaking stays attributed even if a later check
-		// finds it dark (e.g. its campaign stopped): keep the stronger verdict
-		// but refresh the landing store when the recheck still sees cloaking.
-		if seen && v.Cloaked && !nv.Cloaked {
-			v.CheckedDay = day
-			c.cache[domain] = v
-			c.mu.Unlock()
-			return v
-		}
-		// Indeterminate checks (transient fetch failures) are not cached:
-		// the next query retries them rather than freezing a "clean" verdict.
-		if nv.Indeterminate && !nv.Cloaked {
-			c.mu.Unlock()
-			return nv
-		}
-		c.cache[domain] = nv
-		c.mu.Unlock()
-		return nv
+		return v
 	}
+	if call, busy := c.inflight[domain]; busy {
+		// Another goroutine is already running the detector for this
+		// domain. The cache entry cannot change until that run publishes
+		// (only the runner writes it, under the same lock that removes the
+		// inflight entry), so the (v, seen) snapshot taken above is exactly
+		// the snapshot the runner started from — applying the same merge
+		// rule to the runner's verdict yields the same result the runner
+		// returns, with no re-consult loop.
+		c.mu.Unlock()
+		<-call.done
+		return mergeVerdict(v, seen, call.v, day)
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	if c.inflight == nil {
+		c.inflight = make(map[string]*inflightCall)
+	}
+	c.inflight[domain] = call
+	c.mu.Unlock()
+
+	nv := c.Det.CheckURL(sampleURL, day)
+
+	c.mu.Lock()
+	c.fetches++
+	delete(c.inflight, domain)
+	call.v = nv
+	close(call.done)
+	out := mergeVerdict(v, seen, nv, day)
+	// Unknown checks (transient fetch failures) are not cached: the next
+	// query retries them rather than freezing a "clean" verdict. (A stale
+	// cloaked verdict that absorbed a failed recheck is still cached — the
+	// merge kept the stronger verdict.)
+	if !(out.Unknown && !out.Cloaked) {
+		c.cache[domain] = out
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// mergeVerdict folds a fresh detector verdict into the cache snapshot the
+// run started from. A domain once seen cloaking stays attributed even if a
+// later check finds it dark (e.g. its campaign stopped): the stronger
+// verdict is kept with a refreshed check day.
+func mergeVerdict(old Verdict, seen bool, nv Verdict, day simclock.Day) Verdict {
+	if seen && old.Cloaked && !nv.Cloaked {
+		old.CheckedDay = day
+		return old
+	}
+	return nv
 }
 
 // CheckDomains fans CheckDomain over many domains with the shared worker

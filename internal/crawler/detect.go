@@ -52,9 +52,12 @@ type Verdict struct {
 	IsStore     bool   // landing site looks like a counterfeit storefront
 	StoreDomain string // domain of the landing storefront
 	CheckedDay  simclock.Day
-	// Indeterminate marks a check spoiled by fetch failures: the URL is
-	// neither confirmed clean nor cloaked, and must not be cached as clean.
-	Indeterminate bool
+	// Unknown marks a check spoiled by fetch failures (timeouts, 5xx, DNS
+	// failures, truncated bodies, an open circuit breaker): the URL is
+	// neither confirmed clean nor cloaked. Unknown verdicts are never
+	// cached, so the domain is re-queued the next time it surfaces — the
+	// §4.1.2 re-crawl policy — instead of being mis-classified as clean.
+	Unknown bool
 }
 
 // Iframe is an iframe observed after rendering.
@@ -248,12 +251,14 @@ func (d *Detector) CheckURL(rawurl string, day simclock.Day) Verdict {
 		v.IsStore = userResp.Status < 400 && LooksLikeStore(userResp.Body, userResp.Cookies)
 		v.StoreDomain = hostOf(finalURL)
 		return v
-	case userResp.Status >= 400 || crawlerResp.Status >= 400:
+	case userResp.Failed() || crawlerResp.Failed() ||
+		userResp.Status >= 400 || crawlerResp.Status >= 400:
 		// A failed fetch on either side would make the semantic diff
-		// meaningless — one transient 5xx must not manufacture a cloaking
-		// verdict. Only a double 404 confirms a dead URL; anything else is
-		// indeterminate and retried rather than cached as clean.
-		v.Indeterminate = !(userResp.Status == 404 && crawlerResp.Status == 404)
+		// meaningless — one transient 5xx, timeout or truncated body must
+		// not manufacture a cloaking verdict. Only a double 404 confirms a
+		// dead URL; anything else is unknown and re-queued rather than
+		// cached as clean.
+		v.Unknown = !(userResp.Status == 404 && crawlerResp.Status == 404)
 		return v
 	default:
 		sim := htmlparse.Jaccard(

@@ -67,20 +67,20 @@ func TestFlakyFetchesNeverManufactureCloaking(t *testing.T) {
 	}
 }
 
-func TestIndeterminateVerdictsNotCachedAsClean(t *testing.T) {
+func TestUnknownVerdictsNotCachedAsClean(t *testing.T) {
 	f := build(t)
-	// Always-failing fetcher first: the verdict must be indeterminate.
+	// Always-failing fetcher first: the verdict must be unknown.
 	dead := newFlaky(f.web, 1.0, 7)
 	c := New(NewDetector(dead))
 	v := c.CheckDomain(f.doorDom["KEY"], f.doorURL["KEY"], 0)
 	if v.Cloaked {
 		t.Fatalf("dead fetcher produced cloaked verdict: %+v", v)
 	}
-	if !v.Indeterminate {
-		t.Fatalf("dead fetcher verdict must be indeterminate: %+v", v)
+	if !v.Unknown {
+		t.Fatalf("dead fetcher verdict must be unknown: %+v", v)
 	}
 	if _, cached := c.Cached(f.doorDom["KEY"]); cached {
-		t.Fatal("indeterminate verdict cached")
+		t.Fatal("unknown verdict cached")
 	}
 	// Heal the fetcher: the same crawler must now find the doorway.
 	c.Det.F = f.web
@@ -121,7 +121,7 @@ func TestDoubleNotFoundIsDeterminate(t *testing.T) {
 	f := build(t)
 	det := NewDetector(f.web)
 	v := det.CheckURL("http://no-such-host.example/", 0)
-	if v.Cloaked || v.Indeterminate {
+	if v.Cloaked || v.Unknown {
 		t.Fatalf("dead URL must be determinately clean: %+v", v)
 	}
 	// And therefore cacheable: the crawler should not refetch it.

@@ -1,0 +1,163 @@
+package crawler
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simweb"
+)
+
+// waitParkedInCheckDomain blocks until `want` goroutines are parked inside
+// CheckDomain waiting on the inflight call (their stacks show CheckDomain
+// but not the gated fetcher the runner is blocked in). The rendezvous makes
+// the race deterministic: every waiter is provably in flight-adoption
+// position before the gate opens.
+func waitParkedInCheckDomain(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	buf := make([]byte, 1<<20)
+	for time.Now().Before(deadline) {
+		n := runtime.Stack(buf, true)
+		cnt := 0
+		for _, s := range strings.Split(string(buf[:n]), "\n\n") {
+			if strings.Contains(s, "CheckDomain") && !strings.Contains(s, "gatedFetcher") {
+				cnt++
+			}
+		}
+		if cnt >= want {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatal("waiters never parked on the inflight call")
+}
+
+// gatedFetcher blocks every fetch until release is closed, signalling
+// started exactly once. It lets a test hold a detector run in flight while
+// racing waiters pile up on the same domain.
+type gatedFetcher struct {
+	resp    simweb.Response
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGated(resp simweb.Response) *gatedFetcher {
+	return &gatedFetcher{resp: resp, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedFetcher) Fetch(req simweb.Request) simweb.Response {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return g.resp
+}
+
+func (g *gatedFetcher) FetchFollow(req simweb.Request, maxHops int) (simweb.Response, string) {
+	resp := g.Fetch(req)
+	if resp.Status >= 300 && resp.Status < 400 && resp.Location != "" {
+		// Follow the one scripted hop to a storefront landing page.
+		return simweb.Response{Status: 200, Body: "luxury store cart checkout"}, resp.Location
+	}
+	return resp, req.URL
+}
+
+// TestInflightWaitersAdoptWeakerVerdict is the regression test for the old
+// re-consult loop: when the racing run comes back with a weaker verdict that
+// is NOT cached (Unknown — the fetches all failed), waiters used to loop
+// back to the cache, miss, and start detector runs of their own; with enough
+// churn the wait was unbounded. Waiters must instead adopt the inflight
+// run's verdict directly: one detector run total, identical verdicts for
+// every caller, nothing cached.
+func TestInflightWaitersAdoptWeakerVerdict(t *testing.T) {
+	// Every fetch 502s, so the shared run's verdict is Unknown — exactly the
+	// verdict CheckDomain refuses to cache.
+	gate := newGated(simweb.Response{Status: 502, Body: "bad gateway"})
+	c := New(NewDetector(gate))
+
+	const waiters = 8
+	verdicts := make([]Verdict, 1+waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the runner
+		defer wg.Done()
+		verdicts[0] = c.CheckDomain("racy.example.com", "http://racy.example.com/", 3)
+	}()
+	<-gate.started // detector run is now in flight
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = c.CheckDomain("racy.example.com", "http://racy.example.com/", 3)
+		}(i)
+	}
+	waitParkedInCheckDomain(t, waiters)
+	close(gate.release)
+	wg.Wait()
+
+	if !verdicts[0].Unknown || verdicts[0].Cloaked {
+		t.Fatalf("runner verdict = %+v, want Unknown", verdicts[0])
+	}
+	for i, v := range verdicts {
+		if v != verdicts[0] {
+			t.Fatalf("caller %d verdict %+v differs from runner's %+v", i, v, verdicts[0])
+		}
+	}
+	if n := c.Fetches(); n != 1 {
+		t.Fatalf("%d detector runs for one racing domain, want 1", n)
+	}
+	if _, cached := c.Cached("racy.example.com"); cached {
+		t.Fatal("weak verdict was cached")
+	}
+	// The uncached Unknown must be re-queried next time (re-crawl policy).
+	c.Det.F = &scriptedFetcher{fn: func(simweb.Request) simweb.Response { return okResp() }}
+	c.CheckDomain("racy.example.com", "http://racy.example.com/", 4)
+	if n := c.Fetches(); n != 2 {
+		t.Fatalf("healed domain not re-queried: %d detector runs", n)
+	}
+}
+
+// TestInflightWaitersShareStrongVerdict: the common case — racing callers on
+// a cloaked domain share one run and one cache entry.
+func TestInflightWaitersShareStrongVerdict(t *testing.T) {
+	// A 302 off-host is the cheapest cloaked verdict to script.
+	gate := newGated(simweb.Response{Status: 302, Location: "http://store.example.net/buy"})
+	c := New(NewDetector(gate))
+
+	const callers = 6
+	verdicts := make([]Verdict, callers)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		verdicts[0] = c.CheckDomain("door.example.com", "http://door.example.com/", 2)
+	}()
+	<-gate.started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = c.CheckDomain("door.example.com", "http://door.example.com/", 2)
+		}(i)
+	}
+	waitParkedInCheckDomain(t, callers-1)
+	close(gate.release)
+	wg.Wait()
+
+	if !verdicts[0].Cloaked || verdicts[0].Detector != "dagger-redirect" {
+		t.Fatalf("verdict = %+v, want dagger-redirect", verdicts[0])
+	}
+	for i, v := range verdicts {
+		if v != verdicts[0] {
+			t.Fatalf("caller %d verdict %+v differs", i, v)
+		}
+	}
+	if n := c.Fetches(); n != 1 {
+		t.Fatalf("%d detector runs, want 1", n)
+	}
+	if _, cached := c.Cached("door.example.com"); !cached {
+		t.Fatal("strong verdict not cached")
+	}
+}

@@ -1,0 +1,290 @@
+// Package faults is the deterministic fault-injection layer for the crawl
+// pipeline. The paper's eight-month measurement ran against a hostile,
+// flaky substrate — compromised doorways die mid-study, fetches time out,
+// the crawler loses whole days (the real dataset has coverage gaps) — and
+// this package lets a study reproduce that substrate on demand so the
+// robustness of the measured conclusions to data loss can itself be
+// measured.
+//
+// Determinism contract: every injection decision is a pure function of the
+// plan seed and the request's own attributes (URL, visitor class, day,
+// attempt number) — never a draw from a shared sequential stream. Two runs
+// with the same seed and Config therefore inject byte-identical faults at
+// any GOMAXPROCS or worker count, and a retry (which increments the attempt
+// number) re-rolls independently, so transient faults clear the way real
+// ones do. A nil *Plan is fully inert and costs nothing on the hot path.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+// Config sets the per-class injection rates. The zero value disables
+// injection entirely.
+type Config struct {
+	// TimeoutRate is the probability a fetch hangs past the client deadline
+	// and yields no response at all (Status 0, ErrTimeout).
+	TimeoutRate float64
+	// ErrorRate is the probability a fetch returns a transient 5xx.
+	ErrorRate float64
+	// TruncateRate is the probability a response body arrives truncated and
+	// garbled (connection reset mid-transfer). The response is flagged
+	// Truncated — real crawlers detect this via Content-Length mismatch —
+	// so detectors must not diff a partial document.
+	TruncateRate float64
+	// DeadDomainRate is the per-(domain, day) probability a domain fails to
+	// resolve for the whole day (the compromised host was cleaned up, or its
+	// DNS lapsed). Every fetch to the domain that day gets ErrDNS.
+	DeadDomainRate float64
+	// RateLimitRate is the per-(vertical, term, day) probability the search
+	// engine rate-limits the crawler's query, losing that term's SERP for
+	// the day (observed coverage shrinks; no fetches are attempted).
+	RateLimitRate float64
+	// OutageRate is the per-day probability the whole crawler is down — the
+	// paper's lost-coverage days. The observe phase skips the day entirely.
+	OutageRate float64
+}
+
+// Enabled reports whether any failure class can fire.
+func (c Config) Enabled() bool {
+	return c.TimeoutRate > 0 || c.ErrorRate > 0 || c.TruncateRate > 0 ||
+		c.DeadDomainRate > 0 || c.RateLimitRate > 0 || c.OutageRate > 0
+}
+
+// Profiles returns the named rate presets used by the -faults flag and the
+// CI fault matrix: "off", "moderate" (a realistically flaky crawl) and
+// "severe" (a badly degraded one).
+func Profiles() []string { return []string{"off", "moderate", "severe"} }
+
+// Profile resolves a preset name to its Config.
+func Profile(name string) (Config, error) {
+	switch name {
+	case "", "off", "none":
+		return Config{}, nil
+	case "moderate":
+		return Config{
+			TimeoutRate:    0.02,
+			ErrorRate:      0.03,
+			TruncateRate:   0.01,
+			DeadDomainRate: 0.01,
+			RateLimitRate:  0.01,
+			OutageRate:     0.01,
+		}, nil
+	case "severe":
+		return Config{
+			TimeoutRate:    0.08,
+			ErrorRate:      0.12,
+			TruncateRate:   0.05,
+			DeadDomainRate: 0.05,
+			RateLimitRate:  0.05,
+			OutageRate:     0.04,
+		}, nil
+	}
+	return Config{}, fmt.Errorf("faults: unknown profile %q (have %v)", name, Profiles())
+}
+
+// Sentinel errors carried on injected Responses (and on the resilient
+// fetcher's short circuits). Callers branch on these with errors.Is.
+var (
+	// ErrTimeout marks a fetch that exceeded its deadline.
+	ErrTimeout = errors.New("faults: fetch timed out")
+	// ErrDNS marks a domain that failed to resolve.
+	ErrDNS = errors.New("faults: domain does not resolve")
+	// ErrTruncated marks a body cut off mid-transfer.
+	ErrTruncated = errors.New("faults: response body truncated")
+)
+
+// Plan is a fully deterministic fault schedule derived from the study RNG.
+// All methods are safe for concurrent use (the plan is immutable) and all
+// are nil-safe: a nil plan never injects anything.
+type Plan struct {
+	cfg  Config
+	seed uint64
+}
+
+// NewPlan derives a plan from the study RNG. Drawing the plan seed from a
+// named substream means adding fault injection to a study never perturbs
+// any other subsystem's randomness.
+func NewPlan(r *rng.Source, cfg Config) *Plan {
+	return &Plan{cfg: cfg, seed: r.Sub("faults/plan").Uint64()}
+}
+
+// Config returns the plan's rate configuration.
+func (p *Plan) Config() Config {
+	if p == nil {
+		return Config{}
+	}
+	return p.cfg
+}
+
+// Enabled reports whether this plan can inject anything.
+func (p *Plan) Enabled() bool { return p != nil && p.cfg.Enabled() }
+
+// roll hashes a decision key into a uniform float64 in [0, 1). Each
+// distinct key is an independent coin; the same key always lands the same
+// side. The class tag keeps different failure classes independent even for
+// identical request attributes.
+func (p *Plan) roll(class string, key string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(p.seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	// FNV-1a's final multiply barely diffuses the last few input bytes (two
+	// keys differing only in a trailing attempt digit would land within 1e-7
+	// of each other), so finalize with a splitmix64 mix for full avalanche,
+	// then map to [0,1) with the same 53-bit mantissa construction rng uses.
+	return float64(mix64(h.Sum64())>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective mixer whose output bits all
+// depend on all input bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// OutageDay reports whether the whole crawler is down on day d.
+func (p *Plan) OutageDay(d simclock.Day) bool {
+	if p == nil || p.cfg.OutageRate <= 0 {
+		return false
+	}
+	return p.roll("outage", fmt.Sprintf("%d", d)) < p.cfg.OutageRate
+}
+
+// DomainDead reports whether a domain fails to resolve for all of day d.
+func (p *Plan) DomainDead(domain string, d simclock.Day) bool {
+	if p == nil || p.cfg.DeadDomainRate <= 0 {
+		return false
+	}
+	return p.roll("dns", fmt.Sprintf("%s/%d", domain, d)) < p.cfg.DeadDomainRate
+}
+
+// SerpRateLimited reports whether the search engine refused the crawler's
+// query for (vertical, term) on day d.
+func (p *Plan) SerpRateLimited(vertical, termIdx int, d simclock.Day) bool {
+	if p == nil || p.cfg.RateLimitRate <= 0 {
+		return false
+	}
+	return p.roll("serp", fmt.Sprintf("%d/%d/%d", vertical, termIdx, d)) < p.cfg.RateLimitRate
+}
+
+// reqKey identifies one fetch attempt for per-request classes. The visitor
+// class (user agent) is part of the key so Dagger's paired user/crawler
+// fetches fault independently, as distinct TCP connections would.
+func reqKey(req simweb.Request) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d", req.URL, req.UserAgent, req.Day, req.Attempt)
+}
+
+// Apply returns the faulted response for a request, or (resp, false) when
+// no per-request fault fires and the inner response passes through.
+// Dead-domain days are checked first (DNS failure precedes any connection);
+// then timeout, 5xx, and truncation, each an independent deterministic
+// coin on the request key.
+func (p *Plan) Apply(req simweb.Request, fetch func(simweb.Request) simweb.Response) simweb.Response {
+	if !p.Enabled() {
+		return fetch(req)
+	}
+	if p.DomainDead(hostOf(req.URL), req.Day) {
+		return simweb.Response{Status: 0, Err: ErrDNS}
+	}
+	key := reqKey(req)
+	if p.cfg.TimeoutRate > 0 && p.roll("timeout", key) < p.cfg.TimeoutRate {
+		return simweb.Response{Status: 0, Err: ErrTimeout}
+	}
+	if p.cfg.ErrorRate > 0 && p.roll("5xx", key) < p.cfg.ErrorRate {
+		return simweb.Response{Status: 502, Body: "bad gateway (injected)"}
+	}
+	resp := fetch(req)
+	if p.cfg.TruncateRate > 0 && resp.Status == 200 && len(resp.Body) > 0 &&
+		p.roll("trunc", key) < p.cfg.TruncateRate {
+		cut := int(p.roll("cutpoint", key) * float64(len(resp.Body)))
+		resp.Body = resp.Body[:cut] + "\x00\x00<garbled"
+		resp.Truncated = true
+		resp.Err = ErrTruncated
+	}
+	return resp
+}
+
+// Fetcher wraps an inner simweb.Fetcher with the plan's per-request
+// injections. It is what the in-process crawl path mounts; the net/http
+// path mounts Handler instead.
+type Fetcher struct {
+	Plan  *Plan
+	Inner simweb.Fetcher
+}
+
+// Wrap returns inner unchanged when the plan is disabled — the faults-off
+// hot path keeps its exact pre-injection call chain — and a faulting
+// Fetcher otherwise.
+func Wrap(p *Plan, inner simweb.Fetcher) simweb.Fetcher {
+	if !p.Enabled() {
+		return inner
+	}
+	return &Fetcher{Plan: p, Inner: inner}
+}
+
+// Fetch implements simweb.Fetcher.
+func (f *Fetcher) Fetch(req simweb.Request) simweb.Response {
+	return f.Plan.Apply(req, f.Inner.Fetch)
+}
+
+// FetchFollow implements simweb.Fetcher, injecting independently at every
+// hop of the redirect chain (each hop is its own request key).
+func (f *Fetcher) FetchFollow(req simweb.Request, maxHops int) (simweb.Response, string) {
+	cur := req
+	for hop := 0; ; hop++ {
+		resp := f.Fetch(cur)
+		if resp.Status < 300 || resp.Status >= 400 || resp.Location == "" || hop >= maxHops {
+			return resp, cur.URL
+		}
+		cur = simweb.Request{
+			URL:       simweb.ResolveURL(cur.URL, resp.Location),
+			UserAgent: cur.UserAgent,
+			Referrer:  cur.Referrer,
+			Day:       cur.Day,
+			Attempt:   cur.Attempt,
+		}
+	}
+}
+
+var _ simweb.Fetcher = (*Fetcher)(nil)
+
+func hostOf(raw string) string {
+	// Cheap host extraction (scheme://host/...) — URLs in the simulation are
+	// well-formed; fall back to the raw string so malformed inputs still key
+	// deterministically.
+	s := raw
+	if i := indexAfterScheme(s); i > 0 {
+		s = s[i:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == ':' || s[i] == '?' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func indexAfterScheme(s string) int {
+	for i := 0; i+2 < len(s); i++ {
+		if s[i] == ':' && s[i+1] == '/' && s[i+2] == '/' {
+			return i + 3
+		}
+	}
+	return 0
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+// echoFetcher returns a fixed 200 page for every request and counts calls.
+type echoFetcher struct {
+	body  string
+	calls int
+}
+
+func (e *echoFetcher) Fetch(req simweb.Request) simweb.Response {
+	e.calls++
+	return simweb.Response{Status: 200, Body: e.body}
+}
+
+func (e *echoFetcher) FetchFollow(req simweb.Request, maxHops int) (simweb.Response, string) {
+	return e.Fetch(req), req.URL
+}
+
+func planWith(seed uint64, cfg Config) *Plan {
+	return NewPlan(rng.New(seed), cfg)
+}
+
+func TestProfile(t *testing.T) {
+	for _, name := range Profiles() {
+		cfg, err := Profile(name)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+		if (name == "off") == cfg.Enabled() {
+			t.Fatalf("Profile(%q).Enabled() = %v", name, cfg.Enabled())
+		}
+	}
+	if _, err := Profile("catastrophic"); err == nil {
+		t.Fatal("unknown profile did not error")
+	}
+	if cfg, err := Profile(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty profile: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+func TestNilPlanInert(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Fatal("nil plan claims enabled")
+	}
+	if p.Config().Enabled() {
+		t.Fatal("nil plan has live config")
+	}
+	if p.OutageDay(3) || p.DomainDead("x.com", 3) || p.SerpRateLimited(1, 2, 3) {
+		t.Fatal("nil plan injected a fault")
+	}
+	inner := &echoFetcher{body: "ok"}
+	if got := Wrap(p, inner); got != simweb.Fetcher(inner) {
+		t.Fatal("Wrap(nil plan) did not return inner unchanged")
+	}
+}
+
+func TestWrapDisabledIsIdentity(t *testing.T) {
+	inner := &echoFetcher{body: "ok"}
+	p := planWith(1, Config{})
+	if got := Wrap(p, inner); got != simweb.Fetcher(inner) {
+		t.Fatal("Wrap(disabled plan) did not return inner unchanged")
+	}
+	if got := Wrap(planWith(1, Config{TimeoutRate: 1}), inner); got == simweb.Fetcher(inner) {
+		t.Fatal("Wrap(enabled plan) returned inner unchanged")
+	}
+}
+
+// TestDeterministic proves the core contract: identical (seed, config) gives
+// identical decisions for every class, regardless of evaluation order, and a
+// different seed gives a different schedule.
+func TestDeterministic(t *testing.T) {
+	cfg, _ := Profile("severe")
+	a := planWith(7, cfg)
+	b := planWith(7, cfg)
+	c := planWith(8, cfg)
+
+	diff := 0
+	for d := simclock.Day(0); d < 200; d++ {
+		if a.OutageDay(d) != b.OutageDay(d) {
+			t.Fatalf("OutageDay(%d) differs for identical plans", d)
+		}
+		dom := fmt.Sprintf("door%03d.example.com", int(d)%40)
+		if a.DomainDead(dom, d) != b.DomainDead(dom, d) {
+			t.Fatalf("DomainDead(%s, %d) differs for identical plans", dom, d)
+		}
+		if a.SerpRateLimited(int(d)%16, int(d)%10, d) != b.SerpRateLimited(int(d)%16, int(d)%10, d) {
+			t.Fatalf("SerpRateLimited differs for identical plans on day %d", d)
+		}
+		req := simweb.Request{URL: "http://" + dom + "/p", UserAgent: "dagger", Day: d}
+		inner := &echoFetcher{body: strings.Repeat("x", 64)}
+		ra := a.Apply(req, inner.Fetch)
+		rb := b.Apply(req, inner.Fetch)
+		if ra.Status != rb.Status || ra.Body != rb.Body || ra.Truncated != rb.Truncated ||
+			(ra.Err == nil) != (rb.Err == nil) {
+			t.Fatalf("Apply differs for identical plans on day %d: %+v vs %+v", d, ra, rb)
+		}
+		rc := c.Apply(req, inner.Fetch)
+		if ra.Status != rc.Status || ra.Body != rc.Body {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("a different seed produced an identical 200-day fault schedule")
+	}
+}
+
+// TestRollRates sanity-checks that each class fires at roughly its configured
+// rate over many independent keys.
+func TestRollRates(t *testing.T) {
+	p := planWith(3, Config{TimeoutRate: 0.1})
+	fired := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		req := simweb.Request{URL: fmt.Sprintf("http://d%05d.com/", i), Day: 1}
+		resp := p.Apply(req, (&echoFetcher{body: "ok"}).Fetch)
+		if errors.Is(resp.Err, ErrTimeout) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("timeout rate 0.1 fired at %.4f over %d keys", got, n)
+	}
+}
+
+func TestApplyClasses(t *testing.T) {
+	req := simweb.Request{URL: "http://shop.example.com/page", UserAgent: "user", Day: 5}
+	body := strings.Repeat("the quick brown fox ", 20)
+
+	t.Run("dead domain", func(t *testing.T) {
+		p := planWith(1, Config{DeadDomainRate: 1})
+		inner := &echoFetcher{body: body}
+		resp := p.Apply(req, inner.Fetch)
+		if !errors.Is(resp.Err, ErrDNS) || resp.Status != 0 {
+			t.Fatalf("want ErrDNS/0, got %+v", resp)
+		}
+		if inner.calls != 0 {
+			t.Fatal("dead domain still reached the inner fetcher")
+		}
+		if !resp.Failed() {
+			t.Fatal("DNS failure not Failed()")
+		}
+	})
+	t.Run("timeout", func(t *testing.T) {
+		p := planWith(1, Config{TimeoutRate: 1})
+		resp := p.Apply(req, (&echoFetcher{body: body}).Fetch)
+		if !errors.Is(resp.Err, ErrTimeout) || resp.Status != 0 || !resp.Failed() {
+			t.Fatalf("want ErrTimeout/0, got %+v", resp)
+		}
+	})
+	t.Run("5xx", func(t *testing.T) {
+		p := planWith(1, Config{ErrorRate: 1})
+		resp := p.Apply(req, (&echoFetcher{body: body}).Fetch)
+		if resp.Status != 502 || !resp.Failed() {
+			t.Fatalf("want 502, got %+v", resp)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		p := planWith(1, Config{TruncateRate: 1})
+		resp := p.Apply(req, (&echoFetcher{body: body}).Fetch)
+		if !resp.Truncated || !errors.Is(resp.Err, ErrTruncated) || !resp.Failed() {
+			t.Fatalf("want truncated, got %+v", resp)
+		}
+		if resp.Body == body || len(resp.Body) > len(body)+16 {
+			t.Fatalf("truncated body not mangled: %q", resp.Body)
+		}
+		// Error responses pass through untruncated (nothing to cut).
+		errResp := p.Apply(req, func(simweb.Request) simweb.Response {
+			return simweb.Response{Status: 404, Body: "gone"}
+		})
+		if errResp.Truncated || errResp.Body != "gone" {
+			t.Fatalf("non-200 response was truncated: %+v", errResp)
+		}
+	})
+}
+
+// TestRetryRerolls verifies a retry (attempt+1) is an independent coin: with
+// a 50% timeout rate some request must fault on attempt 0 and clear on
+// attempt 1 — the behaviour real transient faults have.
+func TestRetryRerolls(t *testing.T) {
+	p := planWith(11, Config{TimeoutRate: 0.5})
+	inner := &echoFetcher{body: "ok"}
+	cleared := false
+	for i := 0; i < 200 && !cleared; i++ {
+		req := simweb.Request{URL: fmt.Sprintf("http://r%03d.com/", i), Day: 2}
+		first := p.Apply(req, inner.Fetch)
+		req.Attempt = 1
+		second := p.Apply(req, inner.Fetch)
+		if first.Failed() && !second.Failed() {
+			cleared = true
+		}
+	}
+	if !cleared {
+		t.Fatal("no request recovered on retry across 200 candidates at 50% fault rate")
+	}
+}
+
+// TestVisitorClassesFaultIndependently: Dagger's paired user/crawler fetches
+// of the same URL must not share a fault coin.
+func TestVisitorClassesFaultIndependently(t *testing.T) {
+	p := planWith(5, Config{TimeoutRate: 0.5})
+	inner := &echoFetcher{body: "ok"}
+	differs := false
+	for i := 0; i < 200 && !differs; i++ {
+		req := simweb.Request{URL: fmt.Sprintf("http://v%03d.com/", i), Day: 2, UserAgent: "user"}
+		u := p.Apply(req, inner.Fetch)
+		req.UserAgent = "crawler"
+		c := p.Apply(req, inner.Fetch)
+		differs = u.Failed() != c.Failed()
+	}
+	if !differs {
+		t.Fatal("user and crawler fetches faulted identically across 200 URLs at 50% rate")
+	}
+}

@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/simclock"
+	"repro/internal/simweb"
+)
+
+// Handler wraps a simulated-web handler with the plan's injections so the
+// socket path degrades exactly like the in-process path: dead domains and
+// timeouts drop the connection (the client sees a transport error), 5xx
+// and rate limits answer with the matching status, and truncation writes a
+// short body under a full-length Content-Length so the client's read fails
+// with an unexpected EOF — the same signal real truncation produces.
+//
+// A disabled plan returns next unchanged.
+func Handler(p *Plan, next http.Handler) http.Handler {
+	if !p.Enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		req := requestOf(r)
+		if p.DomainDead(hostOf(req.URL), req.Day) {
+			hijackDrop(rw)
+			return
+		}
+		key := reqKey(req)
+		if p.cfg.TimeoutRate > 0 && p.roll("timeout", key) < p.cfg.TimeoutRate {
+			hijackDrop(rw)
+			return
+		}
+		if p.cfg.ErrorRate > 0 && p.roll("5xx", key) < p.cfg.ErrorRate {
+			http.Error(rw, "bad gateway (injected)", http.StatusBadGateway)
+			return
+		}
+		if p.cfg.TruncateRate > 0 && p.roll("trunc", key) < p.cfg.TruncateRate {
+			rec := &truncatingWriter{inner: rw, roll: p.roll("cutpoint", key)}
+			next.ServeHTTP(rec, r)
+			rec.flush()
+			return
+		}
+		next.ServeHTTP(rw, r)
+	})
+}
+
+// requestOf reconstructs the simweb.Request key attributes from the HTTP
+// request, mirroring (*simweb.Web).ServeHTTP's routing (Host header or
+// simhost query parameter, DayHeader, u path override) so a given logical
+// fetch faults identically in process and over the wire.
+func requestOf(r *http.Request) simweb.Request {
+	day := 0
+	if v := r.Header.Get(simweb.DayHeader); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			day = n
+		}
+	}
+	host := r.Host
+	if h, _, ok := strings.Cut(host, ":"); ok {
+		host = h
+	}
+	if sh := r.URL.Query().Get("simhost"); sh != "" {
+		host = sh
+	}
+	path := r.URL.Path
+	if up := r.URL.Query().Get("u"); up != "" {
+		path = up
+	}
+	attempt := 0
+	if v := r.Header.Get(simweb.AttemptHeader); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			attempt = n
+		}
+	}
+	return simweb.Request{
+		URL:       "http://" + host + path,
+		UserAgent: r.Header.Get("User-Agent"),
+		Day:       simclock.Day(day),
+		Attempt:   attempt,
+	}
+}
+
+// hijackDrop severs the underlying connection without writing a response,
+// which the client observes as a transport error (connection reset) — the
+// closest a real server comes to a timeout or dead host. Writers that
+// cannot hijack (e.g. httptest.ResponseRecorder) get a 504 instead.
+func hijackDrop(rw http.ResponseWriter) {
+	if hj, ok := rw.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	rw.Header().Set("Connection", "close")
+	http.Error(rw, "gateway timeout (injected)", http.StatusGatewayTimeout)
+}
+
+// truncatingWriter buffers the handler's response, then replays the status
+// and headers — including the full Content-Length — but writes only a
+// prefix of the body.
+type truncatingWriter struct {
+	inner  http.ResponseWriter
+	roll   float64
+	status int
+	body   []byte
+}
+
+func (t *truncatingWriter) Header() http.Header { return t.inner.Header() }
+
+func (t *truncatingWriter) WriteHeader(status int) { t.status = status }
+
+func (t *truncatingWriter) Write(b []byte) (int, error) {
+	t.body = append(t.body, b...)
+	return len(b), nil
+}
+
+func (t *truncatingWriter) flush() {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	cut := int(t.roll * float64(len(t.body)))
+	t.inner.Header().Set("Content-Length", fmt.Sprint(len(t.body)+16))
+	t.inner.WriteHeader(t.status)
+	t.inner.Write(t.body[:cut])
+	// The missing tail never arrives: flushing here and returning lets the
+	// server close the stream short of the declared length.
+	if f, ok := t.inner.(http.Flusher); ok {
+		f.Flush()
+	}
+}

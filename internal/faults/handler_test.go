@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simweb"
+)
+
+// pageHandler is a comparable http.Handler serving one fixed page.
+type pageHandler struct{ body string }
+
+func (h pageHandler) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	rw.WriteHeader(http.StatusOK)
+	io.WriteString(rw, h.body)
+}
+
+func TestHandlerDisabledIsIdentity(t *testing.T) {
+	next := pageHandler{body: "hello"}
+	if got := Handler(nil, next); got != http.Handler(next) {
+		t.Fatal("Handler(nil plan) did not return next unchanged")
+	}
+	if got := Handler(planWith(1, Config{}), next); got != http.Handler(next) {
+		t.Fatal("Handler(disabled plan) did not return next unchanged")
+	}
+}
+
+// serve spins up a real net/http server (hijacking needs a real conn) with
+// the plan mounted in front of a fixed page.
+func serve(t *testing.T, p *Plan, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler(p, pageHandler{body: body}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(simweb.DayHeader, "4")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func TestHandlerDeadDomainDropsConnection(t *testing.T) {
+	srv := serve(t, planWith(1, Config{DeadDomainRate: 1}), "hello")
+	if _, _, err := get(t, srv, "/?simhost=dead.example.com"); err == nil {
+		t.Fatal("dead-domain day answered instead of dropping the connection")
+	}
+}
+
+func TestHandlerTimeoutDropsConnection(t *testing.T) {
+	srv := serve(t, planWith(1, Config{TimeoutRate: 1}), "hello")
+	if _, _, err := get(t, srv, "/?simhost=shop.example.com"); err == nil {
+		t.Fatal("timeout fault answered instead of dropping the connection")
+	}
+}
+
+func TestHandlerInjects5xx(t *testing.T) {
+	srv := serve(t, planWith(1, Config{ErrorRate: 1}), "hello")
+	resp, _, err := get(t, srv, "/?simhost=shop.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("want 502, got %d", resp.StatusCode)
+	}
+}
+
+// TestHandlerTruncation: the middleware declares the full Content-Length but
+// writes only a prefix, so the client's body read fails with unexpected EOF —
+// the exact signal real mid-transfer truncation produces on the wire.
+func TestHandlerTruncation(t *testing.T) {
+	body := strings.Repeat("the quick brown fox ", 200)
+	srv := serve(t, planWith(1, Config{TruncateRate: 1}), body)
+	resp, got, err := get(t, srv, "/?simhost=shop.example.com")
+	if err == nil && len(got) >= len(body) {
+		t.Fatalf("truncation fault delivered the full body (%d bytes, status %d)", len(got), resp.StatusCode)
+	}
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") {
+		t.Fatalf("want unexpected EOF, got %v", err)
+	}
+}
+
+// TestHandlerPassThrough: an enabled plan whose coins miss must serve the
+// page byte-for-byte.
+func TestHandlerPassThrough(t *testing.T) {
+	// Rates low enough that some key misses every class; scan for one.
+	p := planWith(9, Config{ErrorRate: 0.2})
+	srv := serve(t, p, "hello")
+	for i := 0; i < 50; i++ {
+		path := "/?simhost=clean" + strings.Repeat("x", i%5) + ".example.com"
+		resp, b, err := get(t, srv, path)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if string(b) != "hello" {
+				t.Fatalf("clean response corrupted: %q", b)
+			}
+			return
+		}
+	}
+	t.Fatal("no clean response across 50 keys at 20% error rate")
+}
+
+// TestRequestOfMirrorsSimwebRouting: the handler must key its coins on the
+// same logical request the in-process path sees, so a given fetch faults
+// identically in process and over the wire.
+func TestRequestOfMirrorsSimwebRouting(t *testing.T) {
+	r := httptest.NewRequest("GET", "http://127.0.0.1:9999/serve?simhost=door7.example.com&u=/landing", nil)
+	r.Header.Set(simweb.DayHeader, "12")
+	r.Header.Set(simweb.AttemptHeader, "2")
+	r.Header.Set("User-Agent", "dagger-crawler")
+	req := requestOf(r)
+	want := simweb.Request{URL: "http://door7.example.com/landing", UserAgent: "dagger-crawler", Day: 12, Attempt: 2}
+	if req != want {
+		t.Fatalf("requestOf = %+v, want %+v", req, want)
+	}
+}

@@ -58,18 +58,30 @@ func (f *HTTPFetcher) Fetch(req Request) Response {
 		hreq.Header.Set("Referer", req.Referrer)
 	}
 	hreq.Header.Set(DayHeader, strconv.Itoa(int(req.Day)))
+	if req.Attempt > 0 {
+		hreq.Header.Set(AttemptHeader, strconv.Itoa(req.Attempt))
+	}
 	client := f.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return Response{Status: 502, Body: fmt.Sprintf("fetch error: %v", err)}
+		// Transport failure (refused, reset, timeout): no HTTP exchange —
+		// surface it on the error channel so retry layers can see it.
+		return Response{Status: 0, Err: fmt.Errorf("fetch error: %w", err)}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return Response{Status: 502, Body: fmt.Sprintf("read error: %v", err)}
+		// The body was cut off mid-transfer (Content-Length mismatch /
+		// unexpected EOF): a truncated document, not a usable one.
+		return Response{
+			Status:    resp.StatusCode,
+			Body:      string(body),
+			Truncated: true,
+			Err:       fmt.Errorf("read error: %w", err),
+		}
 	}
 	out := Response{
 		Status:   resp.StatusCode,
@@ -90,7 +102,7 @@ func (f *HTTPFetcher) FetchFollow(req Request, maxHops int) (Response, string) {
 			return resp, cur.URL
 		}
 		cur = Request{
-			URL:       resolveURL(cur.URL, resp.Location),
+			URL:       ResolveURL(cur.URL, resp.Location),
 			UserAgent: cur.UserAgent,
 			Referrer:  cur.Referrer,
 			Day:       cur.Day,

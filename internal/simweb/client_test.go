@@ -82,7 +82,7 @@ func TestHTTPFetcherBadInputs(t *testing.T) {
 	if resp := hf.Fetch(Request{URL: "::bad::"}); resp.Status != 400 {
 		t.Fatalf("bad url status = %d", resp.Status)
 	}
-	if resp := hf.Fetch(Request{URL: "http://x.example/"}); resp.Status != 502 {
-		t.Fatalf("dead server status = %d", resp.Status)
+	if resp := hf.Fetch(Request{URL: "http://x.example/"}); resp.Err == nil || !resp.Failed() {
+		t.Fatalf("dead server must fail via the error channel: %+v", resp)
 	}
 }

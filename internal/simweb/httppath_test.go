@@ -1,0 +1,154 @@
+package simweb
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// hopSite serves a redirect maze for the wire tests: "/" 302s to a relative
+// path, "/landing" answers, "/loop" redirects forever, "/nowhere" sends a
+// 302 with no Location.
+type hopSite struct{}
+
+func (hopSite) Serve(req Request) Response {
+	switch {
+	case strings.HasSuffix(req.URL, "/landing"):
+		return Response{Status: 200, Body: "landed"}
+	case strings.HasSuffix(req.URL, "/loop"):
+		return Response{Status: 302, Location: "/loop"}
+	case strings.HasSuffix(req.URL, "/nowhere"):
+		return Response{Status: 302}
+	default:
+		return Response{Status: 302, Location: "/landing"}
+	}
+}
+
+// TestHTTPMalformedURLs: bad URLs must come back as determinate 400s on
+// both sides of the wire, never as transport errors or panics.
+func TestHTTPMalformedURLs(t *testing.T) {
+	web := NewWeb()
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+
+	for _, raw := range []string{"::bad::", "http://%zz/", "not a url", ""} {
+		if resp := hf.Fetch(Request{URL: raw}); resp.Status != 400 {
+			t.Errorf("Fetch(%q) status = %d, want 400", raw, resp.Status)
+		}
+	}
+	// Server side: a request whose reconstructed URL has no registered host
+	// (the listener's own IP) is a 404, served — not a dropped connection.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown host over wire: %d, want 404", resp.StatusCode)
+	}
+	// And a malformed simhost (spaces) still yields an HTTP answer.
+	resp2, err := http.Get(srv.URL + "/?simhost=" + "bad%20host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 && resp2.StatusCode != 404 {
+		t.Fatalf("malformed simhost over wire: %d, want 400/404", resp2.StatusCode)
+	}
+}
+
+// TestHTTPFallbackDomains: unregistered domains reach the lazy fallback
+// factory through the real net/http handler, are materialised exactly once,
+// and factory refusals surface as 404s.
+func TestHTTPFallbackDomains(t *testing.T) {
+	web := NewWeb()
+	web.SetFallback(func(domain string) Site {
+		if !strings.HasSuffix(domain, ".tail.example") {
+			return nil
+		}
+		return staticSite{body: "tail page for " + domain}
+	})
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+
+	resp := hf.Fetch(Request{URL: "http://blog42.tail.example/post"})
+	if resp.Status != 200 || !strings.Contains(resp.Body, "blog42.tail.example") {
+		t.Fatalf("fallback domain over wire: %d %q", resp.Status, resp.Body)
+	}
+	if n := web.Domains(); n != 1 {
+		t.Fatalf("fallback site not cached after first hit: %d domains", n)
+	}
+	// Second hit serves the cached site (still one registration).
+	hf.Fetch(Request{URL: "http://blog42.tail.example/post"})
+	if n := web.Domains(); n != 1 {
+		t.Fatalf("fallback re-materialised: %d domains", n)
+	}
+	if resp := hf.Fetch(Request{URL: "http://other.example/"}); resp.Status != 404 {
+		t.Fatalf("refused fallback over wire: %d, want 404", resp.Status)
+	}
+}
+
+// staticSite answers every request with a fixed body.
+type staticSite struct{ body string }
+
+func (s staticSite) Serve(Request) Response { return Response{Status: 200, Body: s.body} }
+
+// TestHTTPRedirectSemantics: 3xx handling through the real handler — the
+// Location header crosses the wire verbatim, the client never auto-follows
+// (redirect policy belongs to FetchFollow), relative Locations resolve
+// against the simulated URL, redirect loops stop at the hop budget, and a
+// 3xx without Location is returned as-is.
+func TestHTTPRedirectSemantics(t *testing.T) {
+	web := NewWeb()
+	web.Register("maze.example", hopSite{})
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	hf := NewHTTPFetcher(srv.URL)
+
+	// Fetch does not follow; the relative Location arrives untouched.
+	resp := hf.Fetch(Request{URL: "http://maze.example/"})
+	if resp.Status != 302 || resp.Location != "/landing" {
+		t.Fatalf("redirect over wire: %d %q", resp.Status, resp.Location)
+	}
+	// FetchFollow resolves it against the simulated host — not against the
+	// real listener's address.
+	final, finalURL := hf.FetchFollow(Request{URL: "http://maze.example/"}, 5)
+	if final.Status != 200 || final.Body != "landed" {
+		t.Fatalf("follow over wire: %d %q", final.Status, final.Body)
+	}
+	if finalURL != "http://maze.example/landing" {
+		t.Fatalf("finalURL = %q, want the simulated landing URL", finalURL)
+	}
+	// A loop exhausts the hop budget and returns the last 302.
+	looped, _ := hf.FetchFollow(Request{URL: "http://maze.example/loop"}, 4)
+	if looped.Status != 302 {
+		t.Fatalf("loop over wire: %d, want 302 after hop budget", looped.Status)
+	}
+	// A 302 with no Location is a final answer.
+	dead, deadURL := hf.FetchFollow(Request{URL: "http://maze.example/nowhere"}, 4)
+	if dead.Status != 302 || dead.Location != "" || deadURL != "http://maze.example/nowhere" {
+		t.Fatalf("locationless 302 over wire: %d %q %q", dead.Status, dead.Location, deadURL)
+	}
+}
+
+// TestHTTPRawBodyOnErrorStatuses: error statuses still deliver their bodies
+// over the wire (the crawler reads 404 pages to confirm dead URLs).
+func TestHTTPRawBodyOnErrorStatuses(t *testing.T) {
+	web := NewWeb()
+	srv := httptest.NewServer(web)
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/?simhost=ghost.example", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 404 || !strings.Contains(string(b), "no such host") {
+		t.Fatalf("404 body lost over wire: %d %q", resp.StatusCode, b)
+	}
+}

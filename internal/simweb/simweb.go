@@ -34,6 +34,10 @@ type Request struct {
 	UserAgent string
 	Referrer  string
 	Day       simclock.Day
+	// Attempt numbers retries of the same logical fetch (0 = first try).
+	// Retry layers increment it so deterministic fault injection re-rolls
+	// each attempt independently.
+	Attempt int
 }
 
 // Response is the served result. A redirect is expressed via Status 302 and
@@ -43,6 +47,23 @@ type Response struct {
 	Body     string
 	Location string   // redirect target for 3xx
 	Cookies  []string // Set-Cookie payloads
+	// Err is the fetch's error channel: transport-level failures (timeouts,
+	// DNS failures, truncated transfers) that produced no usable document.
+	// A response with Err set must be treated as failed regardless of
+	// Status.
+	Err error
+	// Truncated marks a body that arrived incomplete (detected the way real
+	// crawlers do, via Content-Length mismatch or connection reset). A
+	// truncated document must not be semantically diffed.
+	Truncated bool
+}
+
+// Failed reports whether the fetch produced no usable document: a transport
+// error, a truncated body, no HTTP exchange at all (Status 0), or a server
+// error. Client errors (4xx) are usable answers — a 404 is a determinate
+// "nothing here", not a failure.
+func (r Response) Failed() bool {
+	return r.Err != nil || r.Truncated || r.Status == 0 || r.Status >= 500
 }
 
 // Site serves requests for one domain.
@@ -139,16 +160,17 @@ func (w *Web) FetchFollow(req Request, maxHops int) (Response, string) {
 			return resp, cur.URL
 		}
 		cur = Request{
-			URL:       resolveURL(cur.URL, resp.Location),
+			URL:       ResolveURL(cur.URL, resp.Location),
 			UserAgent: cur.UserAgent,
 			Referrer:  cur.Referrer,
 			Day:       cur.Day,
+			Attempt:   cur.Attempt,
 		}
 	}
 }
 
-// resolveURL resolves a possibly relative location against a base URL.
-func resolveURL(base, loc string) string {
+// ResolveURL resolves a possibly relative location against a base URL.
+func ResolveURL(base, loc string) string {
 	b, err := url.Parse(base)
 	if err != nil {
 		return loc
@@ -162,6 +184,11 @@ func resolveURL(base, loc string) string {
 
 // DayHeader carries the simulation day over real HTTP.
 const DayHeader = "X-Sim-Day"
+
+// AttemptHeader carries the retry attempt number over real HTTP, so
+// server-side fault injection re-rolls per attempt exactly like the
+// in-process path.
+const AttemptHeader = "X-Sim-Attempt"
 
 // ServeHTTP exposes the web over a real socket: the Host header selects the
 // site, the standard User-Agent/Referer headers select the visitor class,

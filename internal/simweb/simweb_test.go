@@ -320,10 +320,10 @@ func TestRegisterReplaces(t *testing.T) {
 }
 
 func TestResolveURLRelative(t *testing.T) {
-	if got := resolveURL("http://a.com/x/y", "/z"); got != "http://a.com/z" {
+	if got := ResolveURL("http://a.com/x/y", "/z"); got != "http://a.com/z" {
 		t.Fatalf("resolve = %q", got)
 	}
-	if got := resolveURL("http://a.com/", "http://b.com/q"); got != "http://b.com/q" {
+	if got := ResolveURL("http://a.com/", "http://b.com/q"); got != "http://b.com/q" {
 		t.Fatalf("absolute resolve = %q", got)
 	}
 }
