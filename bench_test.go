@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -131,6 +132,24 @@ func BenchmarkSimulatedDayParallel(b *testing.B) {
 	cfg.ObserveWorkers = runtime.NumCPU()
 	cfg.CrawlWorkers = runtime.NumCPU()
 	s := NewStudy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.World.RunDay(0)
+	}
+}
+
+// BenchmarkSimulatedDayTelemetry is BenchmarkSimulatedDayParallel with a
+// live telemetry registry attached: the delta between the two is the whole
+// cost of the observability layer on the hot path (atomic counter bumps,
+// span clock reads, pool utilisation accounting). The contract — asserted
+// in CI via cmd/benchjson — is that it stays under 2%.
+func BenchmarkSimulatedDayTelemetry(b *testing.B) {
+	cfg := ablationConfig()
+	cfg.ObserveWorkers = runtime.NumCPU()
+	cfg.CrawlWorkers = runtime.NumCPU()
+	cfg.Telemetry = telemetry.New()
+	s := NewStudy(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.World.RunDay(0)

@@ -3,12 +3,20 @@
 // (BENCH_daypipeline.json by default), so CI can archive per-commit
 // numbers and diff them across runs.
 //
+// Beyond the raw timings the report carries the observability layer's two
+// contract numbers: telemetry_overhead_pct compares the day pipeline with a
+// live telemetry registry against the no-op sink (CI asserts it stays under
+// 2%), and the telemetry block is a full metrics snapshot from a
+// faults-moderate study so counter regressions (retry storms, cache-hit
+// collapses) show up in the archived JSON diffs.
+//
 // Usage:
 //
-//	benchjson [-o BENCH_daypipeline.json] [-benchtime 1x]
+//	benchjson [-o BENCH_daypipeline.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +28,7 @@ import (
 	searchseizure "repro"
 	"repro/internal/htmlparse"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // result is one benchmark's measurements in flat JSON-friendly form.
@@ -38,6 +47,14 @@ type report struct {
 	GOARCH    string   `json:"goarch"`
 	NumCPU    int      `json:"num_cpu"`
 	Results   []result `json:"results"`
+	// TelemetryOverheadPct is SimulatedDayTelemetry vs SimulatedDayParallel:
+	// the day-pipeline cost of running with a live registry relative to the
+	// no-op sink. The contract (asserted in CI) is < 2%.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// Telemetry is the metrics snapshot of a small faults-moderate study,
+	// so the archived JSON captures workload shape (fetch chains, retries,
+	// breaker trips, injected faults), not just wall time.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // benchCfg mirrors the root package's ablationConfig: small enough that a
@@ -60,6 +77,20 @@ func run(name string, fn func(b *testing.B)) result {
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
+}
+
+// runMin takes the best of `samples` runs. The overhead contract compares
+// two ~10ms pipelines whose single-sample noise on shared CI hardware is
+// several percent — larger than the quantity under test — and min-of-N is
+// the usual estimator for "the code's cost without the machine's mood".
+func runMin(name string, samples int, fn func(b *testing.B)) result {
+	best := run(name, fn)
+	for i := 1; i < samples; i++ {
+		if r := run(name, fn); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
 }
 
 func main() {
@@ -94,7 +125,11 @@ func main() {
 		}
 	}))
 
-	rep.Results = append(rep.Results, run("SimulatedDayParallel", func(b *testing.B) {
+	// The two sides of the overhead contract are measured min-of-3 so the
+	// reported delta is instrumentation cost, not scheduler noise.
+	const overheadSamples = 3
+	var parallelNs, telemetryNs float64
+	parallelRes := runMin("SimulatedDayParallel", overheadSamples, func(b *testing.B) {
 		cfg := benchCfg()
 		cfg.ObserveWorkers = runtime.NumCPU()
 		cfg.CrawlWorkers = runtime.NumCPU()
@@ -104,7 +139,30 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			s.World.RunDay(simclock.Day(0))
 		}
-	}))
+	})
+	parallelNs = parallelRes.NsPerOp
+	rep.Results = append(rep.Results, parallelRes)
+
+	// Same pipeline with a live registry attached: the delta against
+	// SimulatedDayParallel is the telemetry layer's whole cost.
+	telemetryRes := runMin("SimulatedDayTelemetry", overheadSamples, func(b *testing.B) {
+		cfg := benchCfg()
+		cfg.ObserveWorkers = runtime.NumCPU()
+		cfg.CrawlWorkers = runtime.NumCPU()
+		cfg.Telemetry = telemetry.New()
+		s := searchseizure.NewStudy(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.World.RunDay(simclock.Day(0))
+		}
+	})
+	telemetryNs = telemetryRes.NsPerOp
+	rep.Results = append(rep.Results, telemetryRes)
+	if parallelNs > 0 {
+		rep.TelemetryOverheadPct = (telemetryNs - parallelNs) / parallelNs * 100
+		fmt.Fprintf(os.Stderr, "%-28s %11.2f%%\n", "telemetry overhead", rep.TelemetryOverheadPct)
+	}
 
 	rep.Results = append(rep.Results, run("Triplets", func(b *testing.B) {
 		doc := strings.Repeat(`<div class="product"><a href="/php?p=cheap">Buy</a>`+
@@ -115,6 +173,25 @@ func main() {
 			htmlparse.Triplets(doc)
 		}
 	}))
+
+	// Run one small faults-moderate study with a live registry and archive
+	// its metrics snapshot: fetch-chain shape, retries, breaker trips and
+	// injected-fault tallies become part of the per-commit JSON diff.
+	reg := telemetry.New()
+	study, err := searchseizure.New(benchCfg(),
+		searchseizure.WithFaults("moderate"),
+		searchseizure.WithTelemetry(reg),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry study:", err)
+		os.Exit(1)
+	}
+	if _, err := study.RunContext(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry study:", err)
+		os.Exit(1)
+	}
+	snap := reg.Snapshot()
+	rep.Telemetry = &snap
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -14,6 +14,13 @@
 // 502s, truncated bodies — and the crawler runs with retries and circuit
 // breakers, so the whole resilient pipeline can be exercised over real
 // sockets.
+//
+// Telemetry is on by default (disable with -telemetry=false): the admin
+// endpoints /metrics (Prometheus text), /debug/vars (JSON snapshot) and
+// /debug/pprof/* (Go profiling) are served on the same listener, ahead of
+// the simulated web and outside the fault-injection layer, so the live
+// fetch/retry/circuit-breaker counters stay reachable even under a severe
+// fault profile.
 package main
 
 import (
@@ -23,18 +30,21 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/faults"
 	"repro/internal/searchsim"
 	"repro/internal/simclock"
 	"repro/internal/simweb"
+	"repro/internal/telemetry"
 
 	"repro/internal/brands"
 )
@@ -61,6 +71,27 @@ func newServer(h http.Handler) *http.Server {
 // the raw connection, answer 502, or truncate the page).
 func handlerFor(p *faults.Plan, web http.Handler) http.Handler {
 	return faults.Handler(p, http.TimeoutHandler(web, requestTimeout, "simulated web: render timeout"))
+}
+
+// adminHandler mounts the observability endpoints ahead of the simulated
+// web: /metrics, /debug/vars and /debug/pprof/* answer directly (and are
+// never fault-injected — the admin plane must stay reachable while the
+// data plane burns); everything else falls through to web. The simulated
+// web addresses pages via the ?simhost= query parameter with the page path
+// in ?u=, so reserving these URL paths shadows no simulated content. With
+// telemetry off (nil reg) /metrics and /debug/vars serve empty documents;
+// the pprof handlers work regardless.
+func adminHandler(reg *telemetry.Registry, web http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", reg.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", web)
+	return mux
 }
 
 // serve runs srv on ln until ctx is cancelled, then shuts down gracefully:
@@ -91,19 +122,22 @@ func main() {
 		day       = flag.Int("day", 30, "simulation day to crawl")
 		maxDom    = flag.Int("max", 200, "max domains to crawl")
 		serveOnly = flag.Bool("serve-only", false, "serve the simulated web and wait")
-		faultsArg = flag.String("faults", "off", "fault-injection profile (off|moderate|severe)")
 	)
+	shared := cli.RegisterStudyFlags(flag.CommandLine, 1, true)
 	flag.Parse()
 
-	faultCfg, err := faults.Profile(*faultsArg)
+	faultCfg, err := shared.Faults()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	reg := shared.Registry()
 
 	cfg := core.TestConfig()
 	cfg.ExtendedTail = false
 	cfg.Faults = faultCfg
+	cfg.Seed = shared.Seed()
+	cfg.Telemetry = reg
 	fmt.Println("building simulated world...")
 	w := core.NewWorld(cfg)
 	w.Engine.Advance(simclock.Day(*day))
@@ -116,14 +150,17 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("serving %d simulated domains on %s\n", w.Web.Domains(), base)
 	fmt.Printf("example: curl -H 'User-Agent: Googlebot' '%s/?simhost=<domain>&u=/'\n", base)
+	if reg != nil {
+		fmt.Printf("admin: %s/metrics (Prometheus), %s/debug/vars (JSON), %s/debug/pprof/\n", base, base, base)
+	}
 	if faultCfg.Enabled() {
-		fmt.Printf("fault profile %q mounted on the wire\n", *faultsArg)
+		fmt.Printf("fault profile %q mounted on the wire\n", shared.FaultProfileName())
 	}
 
 	// SIGTERM/SIGINT drain the server instead of killing in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := newServer(handlerFor(w.Faults, w.Web))
+	srv := newServer(adminHandler(reg, handlerFor(w.Faults, w.Web)))
 
 	if *serveOnly {
 		if err := serve(ctx, srv, ln, 10*time.Second); err != nil {
@@ -143,10 +180,12 @@ func main() {
 	var resilient *crawler.ResilientFetcher
 	if faultCfg.Enabled() {
 		resilient = crawler.NewResilientFetcher(fetch, crawler.DefaultResilience(), cfg.Seed)
+		resilient.Instrument(reg)
 		fetch = resilient
 	}
 	det := crawler.NewDetector(fetch)
 	c := crawler.New(det)
+	c.Instrument(reg)
 	urls := make(map[string]string)
 	for _, v := range brands.All() {
 		w.Engine.EachSlot(v, func(_, _ int, s *searchsim.Slot) {

@@ -6,10 +6,13 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // gatedHandler blocks each request until release is closed, signalling
@@ -160,6 +163,61 @@ func TestHandlerForWithoutFaultsStillServes(t *testing.T) {
 	if resp.StatusCode != 200 || string(b) != "page" {
 		t.Fatalf("got %d %q", resp.StatusCode, b)
 	}
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestAdminEndpointsServeAheadOfFaults is the admin-plane smoke test: with
+// a severe fault profile burning the data plane, /metrics must still answer
+// with Prometheus text carrying the crawler counters, and /debug/vars must
+// serve the JSON snapshot. Regular page requests keep flowing through the
+// fault layer underneath.
+func TestAdminEndpointsServeAheadOfFaults(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("crawler_fetch_attempts_total").Add(9)
+
+	web := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, "simulated page")
+	})
+	h := adminHandler(reg, web)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := newServer(h)
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "crawler_fetch_attempts_total 9") ||
+		!strings.Contains(body, "# TYPE crawler_fetch_attempts_total counter") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 ||
+		!strings.Contains(body, `"crawler_fetch_attempts_total": 9`) {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := get("/?simhost=x&u=/"); code != 200 || body != "simulated page" {
+		t.Fatalf("fallthrough to web = %d %q", code, body)
+	}
+
 	cancel()
 	if err := <-served; err != nil {
 		t.Fatalf("serve: %v", err)

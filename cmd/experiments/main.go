@@ -2,30 +2,51 @@
 //
 // Usage:
 //
-//	experiments -run table1 [-scale 0.06] [-terms 10] [-slots 50] [-seed 1]
+//	experiments -run table1 [-scale 0.06] [-terms 10] [-slots 50] [-seed 1] [-json]
 //	experiments -list
 //	experiments -run abl-l1      (ablations build their own worlds)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	searchseizure "repro"
+	"repro/internal/cli"
 )
+
+// emit prints a result table as text, or as {id, title, text} JSON with
+// -json.
+func emit(tbl searchseizure.Table, asJSON bool) {
+	if !asJSON {
+		fmt.Println(tbl)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tbl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment or ablation id (see -list)")
-		list  = flag.Bool("list", false, "list available experiments and ablations")
-		scale = flag.Float64("scale", 0.06, "infrastructure scale (1.0 = paper scale)")
-		terms = flag.Int("terms", 10, "search terms per vertical (paper: 100)")
-		slots = flag.Int("slots", 50, "results per term (paper: 100)")
-		seed  = flag.Uint64("seed", 1, "study seed")
+		run    = flag.String("run", "", "experiment or ablation id (see -list)")
+		list   = flag.Bool("list", false, "list available experiments and ablations")
+		scale  = flag.Float64("scale", 0.06, "infrastructure scale (1.0 = paper scale)")
+		terms  = flag.Int("terms", 10, "search terms per vertical (paper: 100)")
+		slots  = flag.Int("slots", 50, "results per term (paper: 100)")
+		asJSON = flag.Bool("json", false, "emit the result as {id, title, text} JSON")
 	)
+	shared := cli.RegisterStudyFlags(flag.CommandLine, 1, false)
 	flag.Parse()
+	if shared.ProgressEnabled() {
+		cli.EnableProgress(shared.Registry(), os.Stderr)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments (tables and figures):")
@@ -46,28 +67,35 @@ func main() {
 	cfg.Scale = *scale
 	cfg.TermsPerVertical = *terms
 	cfg.SlotsPerTerm = *slots
-	cfg.Seed = *seed
+	cfg.Seed = shared.Seed()
 	cfg.TailCampaigns = 18
 	cfg.SeedDocsTarget = 350
 
 	if strings.HasPrefix(*run, "abl-") {
 		abl := searchseizure.TestConfig()
-		abl.Seed = *seed
+		abl.Seed = shared.Seed()
 		abl.ExtendedTail = false
-		out, err := searchseizure.RunAblation(*run, abl)
+		tbl, err := searchseizure.RunAblation(*run, abl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		emit(tbl, *asJSON)
 		return
 	}
 
-	study := searchseizure.NewStudy(cfg)
-	out, err := study.Experiment(*run)
+	study, err := searchseizure.New(cfg,
+		searchseizure.WithFaults(shared.FaultProfileName()),
+		searchseizure.WithTelemetry(shared.Registry()),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tbl, err := study.Experiment(*run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println(out)
+	emit(tbl, *asJSON)
 }

@@ -4,20 +4,24 @@
 // Usage:
 //
 //	searchseizure [-scale 0.1] [-terms 20] [-slots 100] [-seed 1] [-ablations]
+//	              [-faults off|moderate|severe] [-telemetry] [-progress]
 //
 // The defaults run a mid-size study in a couple of minutes; -scale 1
-// -terms 100 -slots 100 is paper scale.
+// -terms 100 -slots 100 is paper scale. -progress prints a live per-day
+// stage report to stderr while the study runs; -telemetry additionally
+// dumps the collected runtime metrics after the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	searchseizure "repro"
+	"repro/internal/cli"
 	"repro/internal/export"
-	"repro/internal/faults"
 )
 
 func main() {
@@ -25,46 +29,54 @@ func main() {
 		scale     = flag.Float64("scale", 0.06, "infrastructure scale (1.0 = paper scale)")
 		terms     = flag.Int("terms", 10, "search terms per vertical (paper: 100)")
 		slots     = flag.Int("slots", 50, "results per term (paper: 100)")
-		seed      = flag.Uint64("seed", 1, "study seed (same seed => identical results)")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations (slow)")
 		out       = flag.String("out", "", "export summary.json and series CSVs into this directory")
-		faultsArg = flag.String("faults", "off", "fault-injection profile for the crawl pipeline (off|moderate|severe)")
 	)
+	shared := cli.RegisterStudyFlags(flag.CommandLine, 1, false)
 	flag.Parse()
-
-	faultCfg, err := faults.Profile(*faultsArg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 
 	cfg := searchseizure.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.TermsPerVertical = *terms
 	cfg.SlotsPerTerm = *slots
-	cfg.Seed = *seed
+	cfg.Seed = shared.Seed()
 	cfg.TailCampaigns = 18
 	cfg.SeedDocsTarget = 350
-	cfg.Faults = faultCfg
+
+	reg := shared.Registry()
+	if shared.ProgressEnabled() {
+		cli.EnableProgress(reg, os.Stderr)
+	}
 
 	fmt.Printf("building world (scale=%.2f, %d terms x %d slots, seed %d)...\n",
 		cfg.Scale, cfg.TermsPerVertical, cfg.SlotsPerTerm, cfg.Seed)
 	start := time.Now()
-	study := searchseizure.NewStudy(cfg)
+	study, err := searchseizure.New(cfg,
+		searchseizure.WithFaults(shared.FaultProfileName()),
+		searchseizure.WithTelemetry(reg),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fmt.Printf("world ready in %v; classifier 10-fold CV accuracy %.1f%% (paper: 86.8%%)\n",
 		time.Since(start).Round(time.Millisecond), 100*study.World.CVAccuracy)
 
 	fmt.Println("running the longitudinal study (2013-11-13 .. 2014-08-31)...")
 	start = time.Now()
-	data := study.Run()
+	data, err := study.RunContext(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("study complete in %v: %d PSR observations, %d doorways, %d stores, %.0f%% attributed\n",
 		time.Since(start).Round(time.Millisecond),
 		data.TotalPSRs(), data.TotalDoorways(), data.TotalStores(),
 		100*data.AttributedShare())
-	if faultCfg.Enabled() {
+	if study.World.Faults.Enabled() {
 		st := study.World.Resilient.Stats()
 		fmt.Printf("fault profile %q: crawl coverage %.1f%%, %d outage days; %d fetch attempts (%d retries, %d failed chains, %d short-circuited), %s simulated backoff\n",
-			*faultsArg, 100*data.MeanCoverage(), data.OutageDays(),
+			shared.FaultProfileName(), 100*data.MeanCoverage(), data.OutageDays(),
 			st.Attempts, st.Retries, st.Failures, st.ShortCircuit,
 			(time.Duration(st.SimBackoffMS) * time.Millisecond).Round(time.Millisecond))
 	}
@@ -79,25 +91,30 @@ func main() {
 	}
 
 	for _, e := range searchseizure.Experiments() {
-		out, err := study.Experiment(e.ID)
+		tbl, err := study.Experiment(e.ID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("================ %s ================\n%s\n", e.ID, out)
+		fmt.Printf("================ %s ================\n%s\n", tbl.ID, tbl)
 	}
 
 	if *ablations {
 		abl := searchseizure.TestConfig()
-		abl.Seed = *seed
+		abl.Seed = shared.Seed()
 		abl.ExtendedTail = false
 		for _, a := range searchseizure.Ablations() {
-			out, err := searchseizure.RunAblation(a.ID, abl)
+			tbl, err := searchseizure.RunAblation(a.ID, abl)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", a.ID, err)
 				os.Exit(1)
 			}
-			fmt.Printf("================ %s ================\n%s\n", a.ID, out)
+			fmt.Printf("================ %s ================\n%s\n", tbl.ID, tbl)
 		}
+	}
+
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "---- telemetry (Prometheus text) ----")
+		_ = reg.WritePrometheus(os.Stderr)
 	}
 }

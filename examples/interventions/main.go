@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	searchseizure "repro"
 )
@@ -17,13 +19,19 @@ import (
 func main() {
 	cfg := searchseizure.TestConfig()
 	fmt.Println("running a miniature study (this exercises the full pipeline)...")
-	study := searchseizure.NewStudy(cfg)
-	data := study.Run()
+	study, err := searchseizure.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := study.RunContext(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\nseizure activity observed through crawled PSRs: %d seizures, %d campaign reactions\n",
 		len(data.Seizures), len(data.Reactions))
 
-	fmt.Println("\n" + study.MustExperiment("fig6"))
+	fmt.Println("\n" + study.MustExperiment("fig6").String())
 	fmt.Println(study.MustExperiment("seizurelife"))
 	fmt.Println(study.MustExperiment("hackedlabels"))
 

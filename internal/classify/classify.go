@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Doc is one training or evaluation document: its extracted features and
@@ -33,6 +34,12 @@ type Options struct {
 	Epochs       int
 	// Workers bounds the per-class training parallelism (0 = serial).
 	Workers int
+	// EpochCounter, when non-nil, accumulates gradient epochs actually run
+	// (one bump of Epochs per binary subproblem). Telemetry only: training
+	// never reads it.
+	EpochCounter *telemetry.Counter
+	// Pool, when non-nil, receives the per-class fan-out's accounting.
+	Pool parallel.PoolObserver
 }
 
 // Regularizer selects the penalty.
@@ -142,7 +149,7 @@ func Train(docs []Doc, opts Options) *Model {
 	if workers < 1 {
 		workers = 1
 	}
-	parallel.ForEach(workers, len(classes), func(ci int) {
+	parallel.ForEachObserved(workers, len(classes), func(ci int) {
 		class := classes[ci]
 		y := make([]float64, len(docs))
 		for i, d := range docs {
@@ -153,7 +160,7 @@ func Train(docs []Doc, opts Options) *Model {
 		w, b := trainBinary(X, y, vocab.Size(), opts)
 		m.weights[ci] = w
 		m.bias[ci] = b
-	})
+	}, opts.Pool)
 	return m
 }
 
@@ -226,6 +233,7 @@ func trainBinary(X [][]int, y []float64, dim int, opts Options) ([]float64, floa
 		}
 		b -= lr * gradB / n
 	}
+	opts.EpochCounter.Add(int64(opts.Epochs))
 	return w, b
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"repro/internal/faults"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Config sizes and seeds a study. The zero value is not useful; start from
@@ -65,6 +66,12 @@ type Config struct {
 	// and leaves the pipeline bit-identical to a fault-free build; see
 	// faults.Profile for the study presets.
 	Faults faults.Config
+	// Telemetry, when non-nil, receives the study's runtime metrics and
+	// stage spans (see internal/telemetry). Telemetry is observational
+	// only: no simulation or measurement decision reads it, so a study's
+	// Fingerprint is identical with it nil or set. nil (the default) is
+	// the no-op sink — every instrumentation point reduces to a nil check.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig is the paper-scale configuration.

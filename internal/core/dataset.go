@@ -75,6 +75,11 @@ type Reaction struct {
 type Dataset struct {
 	StudyDays int
 	SimDays   int
+	// DaysRun is how many simulation days actually executed — SimDays for
+	// a completed run, fewer when RunContext was cancelled mid-study. It
+	// describes the run, not the observations, so it is deliberately NOT
+	// folded into Fingerprint: a fingerprint compares what was measured.
+	DaysRun int
 
 	Verticals map[brands.Vertical]*VerticalObs
 	Campaigns map[string]*CampaignObs

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,11 +22,32 @@ func featuresOf(body string) []string { return htmlparse.Triplets(body) }
 // interventions fire, demand flows, and (inside the crawl window) the
 // measurement pipeline observes it. It returns the completed dataset.
 func (w *World) Run() *Dataset {
-	for d := simclock.Day(0); int(d) < w.Sim.Days(); d++ {
-		w.RunDay(d)
+	d, _ := w.RunContext(context.Background())
+	return d
+}
+
+// RunContext is Run with cooperative cancellation. The context is checked
+// at each day boundary — never mid-day, so the dataset is always coherent:
+// every day in [0, DaysRun) is fully committed and no later day has begun.
+// On cancellation it finalizes and returns the partial dataset alongside
+// ctx's error; Dataset.DaysRun (and, under fault injection, the coverage
+// mask) tell downstream consumers how much of the window was measured.
+//
+// The world keeps a resume cursor: a later RunContext call on the same
+// world continues from the first unrun day, so a cancelled study can be
+// resumed to completion.
+func (w *World) RunContext(ctx context.Context) (*Dataset, error) {
+	for ; int(w.nextDay) < w.Sim.Days(); w.nextDay++ {
+		if err := ctx.Err(); err != nil {
+			w.Finalize()
+			w.Data.DaysRun = int(w.nextDay)
+			return w.Data, err
+		}
+		w.RunDay(w.nextDay)
 	}
 	w.Finalize()
-	return w.Data
+	w.Data.DaysRun = w.Sim.Days()
+	return w.Data, nil
 }
 
 // RunDay advances the world one day.
@@ -40,6 +62,10 @@ func (w *World) Run() *Dataset {
 // afterwards in fixed vertical order, so a study produces bit-identical
 // output at any GOMAXPROCS or worker count.
 func (w *World) RunDay(d simclock.Day) {
+	daySpan := w.stDay.Start(int(d), "")
+	defer daySpan.End()
+	w.cDays.Inc()
+
 	w.Engine.Advance(d)
 	w.rotateStores(d)
 	w.Seizure.Tick(d)
@@ -52,22 +78,31 @@ func (w *World) RunDay(d simclock.Day) {
 		// measurement goes dark, and the dataset's coverage mask records
 		// the gap so downstream numbers are loss-aware.
 		w.Data.recordOutage(d)
+		w.cOutages.Inc()
 	} else {
 		verticals := brands.All()
 		obs := w.dayObs(len(verticals))
-		parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
+		obsSpan := w.stObserve.Start(int(d), "")
+		parallel.ForEachObserved(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
 			w.observeVertical(obs[i], verticals[i], d, inStudy)
-		})
+		}, w.obsPool)
+		obsSpan.End()
+		commitSpan := w.stCommit.Start(int(d), "")
 		for _, o := range obs {
 			w.commitObservation(o, d, inStudy)
 		}
-		if w.Faults != nil {
+		commitSpan.End()
+		if w.Faults != nil || w.tel != nil {
 			var covered, lost int
 			for _, o := range obs {
 				covered += o.slots
 				lost += o.lostSlots
 			}
-			w.Data.recordCoverage(d, covered, covered+lost)
+			w.cSlots.Add(int64(covered))
+			w.cLostSlots.Add(int64(lost))
+			if w.Faults != nil {
+				w.Data.recordCoverage(d, covered, covered+lost)
+			}
 		}
 	}
 
@@ -214,6 +249,8 @@ func (o *dayObservation) limited(term int) bool {
 // are the only shared structures it touches; all are thread-safe and yield
 // order-independent results for a fixed day.
 func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock.Day, inStudy bool) {
+	span := w.stObsVert.Start(int(d), v.String())
+	defer span.End()
 	o.reset()
 	o.vertical = v
 	o.vo = w.Data.Verticals[v]
@@ -461,6 +498,8 @@ type trafficShard struct {
 // order draw uses its own RNG substream keyed by (day, store ID) — so the
 // result does not depend on scheduling or map iteration order.
 func (w *World) applyTraffic(d simclock.Day) {
+	span := w.stTraffic.Start(int(d), "")
+	defer span.End()
 	verticals := brands.All()
 	if w.shards == nil {
 		w.shards = make([]*trafficShard, len(verticals))
@@ -468,9 +507,9 @@ func (w *World) applyTraffic(d simclock.Day) {
 			w.shards[i] = &trafficShard{perStore: make(map[*store.Store]*storeAgg)}
 		}
 	}
-	parallel.ForEach(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
+	parallel.ForEachObserved(w.Cfg.ObserveWorkers, len(verticals), func(i int) {
 		w.shardTraffic(w.shards[i], verticals[i], d)
-	})
+	}, w.trafPool)
 
 	// Deterministic reduction: merge shards in vertical order, then visit
 	// stores in ID order with per-store RNG substreams.

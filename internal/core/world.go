@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/htmlgen"
 	"repro/internal/intervention"
+	"repro/internal/parallel"
 	"repro/internal/purchase"
 	"repro/internal/rng"
 	"repro/internal/searchsim"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/simweb"
 	"repro/internal/store"
 	"repro/internal/supplier"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -87,6 +89,27 @@ type World struct {
 	obs    []*dayObservation
 	shards []*trafficShard
 
+	// Telemetry handles, resolved once from Cfg.Telemetry at construction.
+	// A nil registry yields nil handles throughout, so with telemetry off
+	// every instrumentation point is a nil-check no-op.
+	tel        *telemetry.Registry
+	stDay      *telemetry.Stage
+	stObserve  *telemetry.Stage
+	stObsVert  *telemetry.Stage
+	stCommit   *telemetry.Stage
+	stTraffic  *telemetry.Stage
+	cDays      *telemetry.Counter
+	cOutages   *telemetry.Counter
+	cSlots     *telemetry.Counter
+	cLostSlots *telemetry.Counter
+	// obsPool/trafPool stay nil interfaces when telemetry is off, which
+	// keeps the worker pools on their unobserved (clock-free) hot path.
+	obsPool  parallel.PoolObserver
+	trafPool parallel.PoolObserver
+
+	// nextDay is RunContext's resume cursor: the first day not yet run.
+	nextDay simclock.Day
+
 	Data *Dataset
 }
 
@@ -113,6 +136,25 @@ func NewWorld(cfg Config) *World {
 		attribution: make(map[string]string),
 	}
 	w.Traffic = traffic.Default()
+
+	// Resolve telemetry handles up front (all nil-safe when the registry
+	// is nil). The pool observers are set only with telemetry on so the
+	// worker pools see a nil interface — not a typed nil — and skip their
+	// timing instrumentation entirely.
+	w.tel = cfg.Telemetry
+	w.stDay = w.tel.Stage("day")
+	w.stObserve = w.tel.Stage("observe")
+	w.stObsVert = w.tel.Stage("observe_vertical")
+	w.stCommit = w.tel.Stage("commit")
+	w.stTraffic = w.tel.Stage("traffic")
+	w.cDays = w.tel.Counter("core_days_total")
+	w.cOutages = w.tel.Counter("core_outage_days_total")
+	w.cSlots = w.tel.Counter("core_slots_observed_total")
+	w.cLostSlots = w.tel.Counter("core_slots_lost_total")
+	if w.tel != nil {
+		w.obsPool = w.tel.Pool("observe")
+		w.trafPool = w.tel.Pool("traffic")
+	}
 
 	// Campaign roster + tail, deployed into a shared domain namespace.
 	w.Specs = campaign.Roster(study)
@@ -196,11 +238,13 @@ func NewWorld(cfg Config) *World {
 	var crawlFetch simweb.Fetcher = w.Web
 	if cfg.Faults.Enabled() {
 		w.Faults = faults.NewPlan(r, cfg.Faults)
+		w.Faults.Instrument(w.tel)
 		w.Resilient = crawler.NewResilientFetcher(
 			faults.Wrap(w.Faults, w.Web),
 			crawler.DefaultResilience(),
 			r.Sub("crawler/backoff").Uint64(),
 		)
+		w.Resilient.Instrument(w.tel)
 		crawlFetch = w.Resilient
 	}
 	det := crawler.NewDetector(crawlFetch)
@@ -209,6 +253,7 @@ func NewWorld(cfg Config) *World {
 	w.Crawler = crawler.New(det)
 	w.Crawler.RecheckDays = cfg.CrawlRecheckDays
 	w.Crawler.Workers = cfg.CrawlWorkers
+	w.Crawler.Instrument(w.tel)
 	w.Sampler = purchase.NewSampler(w.Web)
 
 	// Interventions.
@@ -370,8 +415,14 @@ func (w *World) trainClassifier() {
 	}
 	w.SeedDocs = seed
 	opts := classify.DefaultOptions()
+	if w.tel != nil {
+		opts.EpochCounter = w.tel.Counter("classify_epochs_total")
+		opts.Pool = w.tel.Pool("train")
+	}
+	span := w.tel.Stage("train").Start(0, "")
 	w.CVAccuracy = classify.CrossValidate(seed, 10, opts)
 	w.Classifier = classify.Train(seed, opts)
+	span.End()
 }
 
 // Attribute classifies the store behind a domain into a campaign name, or

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Crawler wraps a Detector with the §4.1.2 workload reductions: domains
@@ -31,6 +32,26 @@ type Crawler struct {
 	inflight map[string]*inflightCall
 	// fetches counts detector invocations (for workload accounting).
 	fetches int
+
+	// Telemetry handles (nil until Instrument; nil handles are no-ops).
+	cDetector *telemetry.Counter
+	cCacheHit *telemetry.Counter
+	cShared   *telemetry.Counter
+	poolObs   parallel.PoolObserver
+}
+
+// Instrument registers the crawler's runtime metrics on reg (nil reg is a
+// no-op): crawler_detector_runs_total, crawler_cache_hits_total,
+// crawler_inflight_shared_total, and the pool_crawl_* family describing
+// the domain-check worker pool.
+func (c *Crawler) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.cDetector = reg.Counter("crawler_detector_runs_total")
+	c.cCacheHit = reg.Counter("crawler_cache_hits_total")
+	c.cShared = reg.Counter("crawler_inflight_shared_total")
+	c.poolObs = reg.Pool("crawl")
 }
 
 // inflightCall is one in-progress detector run. The runner stores its raw
@@ -66,6 +87,7 @@ func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdic
 	v, seen := c.cache[domain]
 	if seen && (!v.Cloaked || int(day-v.CheckedDay) < c.RecheckDays) {
 		c.mu.Unlock()
+		c.cCacheHit.Inc()
 		return v
 	}
 	if call, busy := c.inflight[domain]; busy {
@@ -77,6 +99,7 @@ func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdic
 		// rule to the runner's verdict yields the same result the runner
 		// returns, with no re-consult loop.
 		c.mu.Unlock()
+		c.cShared.Inc()
 		<-call.done
 		return mergeVerdict(v, seen, call.v, day)
 	}
@@ -88,6 +111,7 @@ func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdic
 	c.mu.Unlock()
 
 	nv := c.Det.CheckURL(sampleURL, day)
+	c.cDetector.Inc()
 
 	c.mu.Lock()
 	c.fetches++
@@ -132,9 +156,9 @@ func (c *Crawler) CheckDomains(urls map[string]string, day simclock.Day) map[str
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].domain < jobs[j].domain })
 
 	verdicts := make([]Verdict, len(jobs))
-	parallel.ForEach(c.Workers, len(jobs), func(i int) {
+	parallel.ForEachObserved(c.Workers, len(jobs), func(i int) {
 		verdicts[i] = c.CheckDomain(jobs[i].domain, jobs[i].url, day)
-	})
+	}, c.poolObs)
 	out := make(map[string]Verdict, len(jobs))
 	for i, j := range jobs {
 		out[j.domain] = verdicts[i]

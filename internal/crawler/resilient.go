@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/simclock"
 	"repro/internal/simweb"
+	"repro/internal/telemetry"
 )
 
 // ErrCircuitOpen is carried on responses the resilient fetcher short-
@@ -89,6 +90,36 @@ type ResilientFetcher struct {
 	mu       sync.Mutex
 	breakers map[string]*breaker
 	stats    FetchStats
+
+	// Telemetry handles (nil until Instrument; nil handles are no-ops).
+	// Counters mirror FetchStats live so /metrics shows the crawl moving;
+	// they never feed back into retry or breaker decisions.
+	cAttempts *telemetry.Counter
+	cRetries  *telemetry.Counter
+	cFailures *telemetry.Counter
+	cShort    *telemetry.Counter
+	cTrips    *telemetry.Counter
+	cBackoff  *telemetry.Counter
+	hAttempts *telemetry.Histogram
+}
+
+// Instrument registers the fetcher's runtime metrics on reg (a nil reg
+// leaves the fetcher uninstrumented). Exposed metrics:
+// crawler_fetch_attempts_total, crawler_fetch_retries_total,
+// crawler_fetch_failures_total, crawler_breaker_short_circuit_total,
+// crawler_breaker_trips_total, crawler_backoff_sim_ms_total and the
+// crawler_attempts_per_chain histogram (retry amplification).
+func (rf *ResilientFetcher) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	rf.cAttempts = reg.Counter("crawler_fetch_attempts_total")
+	rf.cRetries = reg.Counter("crawler_fetch_retries_total")
+	rf.cFailures = reg.Counter("crawler_fetch_failures_total")
+	rf.cShort = reg.Counter("crawler_breaker_short_circuit_total")
+	rf.cTrips = reg.Counter("crawler_breaker_trips_total")
+	rf.cBackoff = reg.Counter("crawler_backoff_sim_ms_total")
+	rf.hAttempts = reg.Histogram("crawler_attempts_per_chain", telemetry.CountBuckets())
 }
 
 // NewResilientFetcher wraps inner with the given policy. jitterSeed should
@@ -122,6 +153,7 @@ func (rf *ResilientFetcher) Fetch(req simweb.Request) simweb.Response {
 		rf.mu.Lock()
 		rf.stats.ShortCircuit++
 		rf.mu.Unlock()
+		rf.cShort.Inc()
 		return simweb.Response{Status: 0, Err: ErrCircuitOpen}
 	}
 	var resp simweb.Response
@@ -153,6 +185,13 @@ func (rf *ResilientFetcher) Fetch(req simweb.Request) simweb.Response {
 		br.daySucc++
 	}
 	rf.mu.Unlock()
+	rf.cAttempts.Add(int64(attempts))
+	rf.cRetries.Add(int64(attempts - 1))
+	rf.cBackoff.Add(backoff)
+	if failed {
+		rf.cFailures.Inc()
+	}
+	rf.hAttempts.Observe(float64(attempts))
 	return resp
 }
 
@@ -259,6 +298,7 @@ func (rf *ResilientFetcher) fold(br *breaker) {
 		} else if br.failDays >= rf.Cfg.TripAfterDays {
 			br.open = true
 			br.openedOn = br.curDay
+			rf.cTrips.Inc()
 		}
 	}
 	br.dayFail, br.daySucc = 0, 0

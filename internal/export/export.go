@@ -17,6 +17,34 @@ import (
 	"repro/internal/core"
 )
 
+// Table is one experiment's result: the id and title identifying which of
+// the paper's tables or figures it reproduces, plus the computed Result.
+// Rendering is deferred — String() produces the text form on demand, and
+// MarshalJSON emits {id, title, text} — so callers choose the output format
+// instead of receiving pre-rendered text.
+type Table struct {
+	ID     string
+	Title  string
+	Result fmt.Stringer
+}
+
+// String renders the result as the experiment's text table.
+func (t Table) String() string {
+	if t.Result == nil {
+		return ""
+	}
+	return t.Result.String()
+}
+
+// MarshalJSON emits the table as {"id", "title", "text"}.
+func (t Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Text  string `json:"text"`
+	}{t.ID, t.Title, t.String()})
+}
+
 // Summary is the JSON top-level document.
 type Summary struct {
 	StudyDays       int            `json:"study_days"`

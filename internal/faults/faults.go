@@ -23,6 +23,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/simclock"
 	"repro/internal/simweb"
+	"repro/internal/telemetry"
 )
 
 // Config sets the per-class injection rates. The zero value disables
@@ -106,6 +107,34 @@ var (
 type Plan struct {
 	cfg  Config
 	seed uint64
+
+	// Injection tallies (nil until Instrument; nil handles are no-ops).
+	// These observe decisions already made — the rolls above never consult
+	// them — so instrumentation cannot change what is injected.
+	cDNS      *telemetry.Counter
+	cTimeout  *telemetry.Counter
+	cServErr  *telemetry.Counter
+	cTruncate *telemetry.Counter
+	cOutage   *telemetry.Counter
+	cSerpLost *telemetry.Counter
+}
+
+// Instrument registers per-class injection counters on reg (nil reg or nil
+// plan is a no-op): faults_injected_{dns,timeout,5xx,truncate}_total count
+// per-request injections, faults_outage_days_total whole-crawler outage
+// days, faults_serp_lost_total rate-limited SERP queries. Call before the
+// study starts; the handles are then read-only for the plan's lifetime, so
+// the plan stays safe for concurrent use.
+func (p *Plan) Instrument(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.cDNS = reg.Counter("faults_injected_dns_total")
+	p.cTimeout = reg.Counter("faults_injected_timeout_total")
+	p.cServErr = reg.Counter("faults_injected_5xx_total")
+	p.cTruncate = reg.Counter("faults_injected_truncate_total")
+	p.cOutage = reg.Counter("faults_outage_days_total")
+	p.cSerpLost = reg.Counter("faults_serp_lost_total")
 }
 
 // NewPlan derives a plan from the study RNG. Drawing the plan seed from a
@@ -163,7 +192,11 @@ func (p *Plan) OutageDay(d simclock.Day) bool {
 	if p == nil || p.cfg.OutageRate <= 0 {
 		return false
 	}
-	return p.roll("outage", fmt.Sprintf("%d", d)) < p.cfg.OutageRate
+	if p.roll("outage", fmt.Sprintf("%d", d)) < p.cfg.OutageRate {
+		p.cOutage.Inc()
+		return true
+	}
+	return false
 }
 
 // DomainDead reports whether a domain fails to resolve for all of day d.
@@ -180,7 +213,11 @@ func (p *Plan) SerpRateLimited(vertical, termIdx int, d simclock.Day) bool {
 	if p == nil || p.cfg.RateLimitRate <= 0 {
 		return false
 	}
-	return p.roll("serp", fmt.Sprintf("%d/%d/%d", vertical, termIdx, d)) < p.cfg.RateLimitRate
+	if p.roll("serp", fmt.Sprintf("%d/%d/%d", vertical, termIdx, d)) < p.cfg.RateLimitRate {
+		p.cSerpLost.Inc()
+		return true
+	}
+	return false
 }
 
 // reqKey identifies one fetch attempt for per-request classes. The visitor
@@ -200,13 +237,16 @@ func (p *Plan) Apply(req simweb.Request, fetch func(simweb.Request) simweb.Respo
 		return fetch(req)
 	}
 	if p.DomainDead(hostOf(req.URL), req.Day) {
+		p.cDNS.Inc()
 		return simweb.Response{Status: 0, Err: ErrDNS}
 	}
 	key := reqKey(req)
 	if p.cfg.TimeoutRate > 0 && p.roll("timeout", key) < p.cfg.TimeoutRate {
+		p.cTimeout.Inc()
 		return simweb.Response{Status: 0, Err: ErrTimeout}
 	}
 	if p.cfg.ErrorRate > 0 && p.roll("5xx", key) < p.cfg.ErrorRate {
+		p.cServErr.Inc()
 		return simweb.Response{Status: 502, Body: "bad gateway (injected)"}
 	}
 	resp := fetch(req)
@@ -216,6 +256,7 @@ func (p *Plan) Apply(req simweb.Request, fetch func(simweb.Request) simweb.Respo
 		resp.Body = resp.Body[:cut] + "\x00\x00<garbled"
 		resp.Truncated = true
 		resp.Err = ErrTruncated
+		p.cTruncate.Inc()
 	}
 	return resp
 }

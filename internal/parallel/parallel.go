@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a configured worker count: values <= 0 select
@@ -25,6 +26,17 @@ func Workers(configured int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PoolObserver receives one aggregate accounting record per pool run.
+// telemetry.PoolMetrics implements it structurally; the pool stays free of
+// any telemetry dependency. Implementations must tolerate concurrent calls
+// (several pools can drain at once).
+type PoolObserver interface {
+	// PoolRun reports that workers goroutines drained jobs items in wall
+	// time; busy is the summed worker lifetimes, so workers×wall − busy is
+	// the straggler-tail idle time (the queue-stall signal).
+	PoolRun(workers, jobs int, wall, busy time.Duration)
+}
+
 // ForEach invokes fn(i) for every i in [0, n), distributing calls over at
 // most workers goroutines (clamped to n; workers <= 0 means GOMAXPROCS).
 // fn must be safe for concurrent invocation; ForEach returns only after
@@ -33,6 +45,14 @@ func Workers(configured int) int {
 // happen after ForEach returns, in a deterministic order of the caller's
 // choosing.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachObserved(workers, n, fn, nil)
+}
+
+// ForEachObserved is ForEach with pool accounting: when obs is non-nil it
+// receives one PoolRun record after the last job completes. A nil obs runs
+// the exact unobserved hot path — no clock reads, no extra atomics — which
+// is what keeps telemetry-off studies free.
+func ForEachObserved(workers, n int, fn func(i int), obs PoolObserver) {
 	if n <= 0 {
 		return
 	}
@@ -41,10 +61,25 @@ func ForEach(workers, n int, fn func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		if obs == nil {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
+		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		wall := time.Since(t0)
+		// One worker is never idle: busy == wall by construction.
+		obs.PoolRun(1, n, wall, wall)
 		return
+	}
+	var t0 time.Time
+	var busy atomic.Int64
+	if obs != nil {
+		t0 = time.Now()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -52,16 +87,26 @@ func ForEach(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var w0 time.Time
+			if obs != nil {
+				w0 = time.Now()
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
-					return
+					break
 				}
 				fn(int(i))
+			}
+			if obs != nil {
+				busy.Add(int64(time.Since(w0)))
 			}
 		}()
 	}
 	wg.Wait()
+	if obs != nil {
+		obs.PoolRun(workers, n, time.Since(t0), time.Duration(busy.Load()))
+	}
 }
 
 // Map applies fn to every element of in on a ForEach pool and returns the

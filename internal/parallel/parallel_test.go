@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversEveryIndex(t *testing.T) {
@@ -64,6 +65,67 @@ func TestMapPreservesOrder(t *testing.T) {
 	for i, v := range out {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// recordObserver captures PoolRun records for assertions.
+type recordObserver struct {
+	mu      sync.Mutex
+	workers []int
+	jobs    []int
+	wall    []time.Duration
+	busy    []time.Duration
+}
+
+func (r *recordObserver) PoolRun(workers, jobs int, wall, busy time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workers = append(r.workers, workers)
+	r.jobs = append(r.jobs, jobs)
+	r.wall = append(r.wall, wall)
+	r.busy = append(r.busy, busy)
+}
+
+// TestForEachObservedAccounting: one record per run, with the clamped
+// worker count, the job count, and busy within [0, workers*wall].
+func TestForEachObservedAccounting(t *testing.T) {
+	obs := &recordObserver{}
+	for _, tc := range []struct{ workers, n, wantWorkers int }{
+		{1, 7, 1},  // inline path
+		{4, 7, 4},  // fan-out
+		{64, 3, 3}, // clamped to jobs
+		{2, 0, 0},  // empty: no record at all
+	} {
+		before := len(obs.jobs)
+		ForEachObserved(tc.workers, tc.n, func(int) { time.Sleep(time.Microsecond) }, obs)
+		if tc.n == 0 {
+			if len(obs.jobs) != before {
+				t.Fatalf("empty run produced a record")
+			}
+			continue
+		}
+		i := len(obs.jobs) - 1
+		if i < before {
+			t.Fatalf("workers=%d n=%d: no record", tc.workers, tc.n)
+		}
+		if obs.workers[i] != tc.wantWorkers || obs.jobs[i] != tc.n {
+			t.Fatalf("record = workers %d jobs %d, want %d/%d", obs.workers[i], obs.jobs[i], tc.wantWorkers, tc.n)
+		}
+		if obs.busy[i] <= 0 || obs.busy[i] > time.Duration(obs.workers[i])*obs.wall[i]+time.Millisecond {
+			t.Fatalf("busy %v out of range for workers=%d wall=%v", obs.busy[i], obs.workers[i], obs.wall[i])
+		}
+	}
+}
+
+// TestForEachObservedNilObserverMatchesForEach: the nil-observer path must
+// still cover every index (it is the exact ForEach hot path).
+func TestForEachObservedNilObserverMatchesForEach(t *testing.T) {
+	var hits = make([]int32, 50)
+	ForEachObserved(4, len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }, nil)
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
 		}
 	}
 }

@@ -13,27 +13,49 @@
 //
 // The quickest way in:
 //
-//	study := searchseizure.NewStudy(searchseizure.TestConfig())
-//	study.Run()
-//	fmt.Println(study.MustExperiment("table1"))
+//	study, err := searchseizure.New(searchseizure.TestConfig())
+//	if err != nil { ... }
+//	data, err := study.RunContext(ctx)
+//	tbl, _ := study.Experiment("table1")
+//	fmt.Println(tbl)
 //
 // Every table and figure of the paper has an experiment id; see
-// Experiments. DESIGN.md documents what the paper measured on the real web
-// and what this reproduction substitutes for it.
+// Experiments. Options wire in cross-cutting concerns: WithTelemetry
+// attaches a metrics/tracing registry, WithFaults selects a fault-injection
+// profile, WithLogger gets lifecycle logging. DESIGN.md documents what the
+// paper measured on the real web and what this reproduction substitutes for
+// it, including the observability contract.
 package searchseizure
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // Config sizes and seeds a study; see the field docs in internal/core.
 // Use DefaultConfig (paper scale) or TestConfig (miniature) as a base.
 type Config = core.Config
+
+// Telemetry is the study's observability sink: lock-cheap counters, gauges,
+// fixed-bucket histograms and stage spans, exposed as Prometheus text,
+// expvar-style JSON, or programmatic snapshots. A nil *Telemetry is the
+// no-op sink. See internal/telemetry for the full surface.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns a live telemetry registry to pass to WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Table is an experiment result; it renders as text via String and as
+// {id, title, text} via JSON marshalling.
+type Table = export.Table
 
 // DefaultConfig is the paper-scale configuration: 16 verticals x 100 terms
 // x top-100 results crawled daily over the 2013-11-13..2014-07-15 window,
@@ -57,41 +79,171 @@ func BenchConfig() Config {
 	return cfg
 }
 
+// Option configures New beyond the base Config. Options apply in order;
+// later options win where they overlap.
+type Option func(*studyOptions) error
+
+type studyOptions struct {
+	telemetry *telemetry.Registry
+	telSet    bool
+	profile   string
+	profSet   bool
+	logger    *log.Logger
+}
+
+// WithTelemetry attaches a telemetry registry to the study: the day
+// pipeline, crawler, fault layer and classifier all record their runtime
+// metrics and stage spans into it. Telemetry is observational only — a
+// study produces a bit-identical Dataset.Fingerprint with or without it.
+// Passing nil selects the no-op sink (the default).
+func WithTelemetry(sink *Telemetry) Option {
+	return func(o *studyOptions) error {
+		o.telemetry = sink
+		o.telSet = true
+		return nil
+	}
+}
+
+// WithFaults selects a deterministic fault-injection profile by name
+// ("off", "moderate", "severe" — see internal/faults). It overrides
+// cfg.Faults; unknown names surface as an error from New.
+func WithFaults(profile string) Option {
+	return func(o *studyOptions) error {
+		if _, err := faults.Profile(profile); err != nil {
+			return err
+		}
+		o.profile = profile
+		o.profSet = true
+		return nil
+	}
+}
+
+// WithLogger directs study lifecycle logging (world build, run start,
+// completion, cancellation) to l. nil (the default) logs nothing.
+func WithLogger(l *log.Logger) Option {
+	return func(o *studyOptions) error {
+		o.logger = l
+		return nil
+	}
+}
+
 // Study is one end-to-end run: a simulated world plus the measurement
 // dataset collected from it.
 type Study struct {
 	World *core.World
 	Data  *core.Dataset
+
+	log *log.Logger
 }
 
-// NewStudy builds the world for a configuration. Building trains the
-// campaign classifier, deploys all infrastructure and mounts the web, but
-// does not advance time; call Run.
+// New builds the world for a configuration. Building trains the campaign
+// classifier, deploys all infrastructure and mounts the web, but does not
+// advance time; call RunContext (or Run). Options fold into the config
+// before the world is built.
+func New(cfg Config, opts ...Option) (*Study, error) {
+	var o studyOptions
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return nil, fmt.Errorf("searchseizure: %w", err)
+		}
+	}
+	if o.telSet {
+		cfg.Telemetry = o.telemetry
+	}
+	if o.profSet {
+		fc, err := faults.Profile(o.profile)
+		if err != nil {
+			return nil, fmt.Errorf("searchseizure: %w", err)
+		}
+		cfg.Faults = fc
+	}
+	s := &Study{log: o.logger}
+	if s.log != nil {
+		s.log.Printf("searchseizure: building world (seed=%d scale=%g faults=%v telemetry=%v)",
+			cfg.Seed, cfg.Scale, cfg.Faults.Enabled(), cfg.Telemetry != nil)
+	}
+	s.World = core.NewWorld(cfg)
+	if s.log != nil {
+		s.log.Printf("searchseizure: world ready (%d stores, %d sim days, classifier CV accuracy %.3f)",
+			len(s.World.Stores), s.World.Sim.Days(), s.World.CVAccuracy)
+	}
+	return s, nil
+}
+
+// NewStudy builds the world for a configuration.
+//
+// Deprecated: use New, which reports option errors and supports
+// WithTelemetry/WithFaults/WithLogger. NewStudy remains as a shim for
+// existing callers and cannot fail (it passes no options).
 func NewStudy(cfg Config) *Study {
-	return &Study{World: core.NewWorld(cfg)}
+	s, err := New(cfg)
+	if err != nil {
+		// Unreachable: New without options only fails on option errors.
+		panic(err)
+	}
+	return s
+}
+
+// RunContext executes the full longitudinal study under ctx. Cancellation
+// is cooperative and day-granular: the pipeline checks ctx between days,
+// never mid-day, so on cancellation RunContext returns a coherent partial
+// dataset — every day in [0, Dataset.DaysRun) fully committed, and (under
+// fault injection) the coverage mask intact — alongside ctx's error. A
+// subsequent RunContext call resumes from the first unrun day; the dataset
+// is cached only once a run completes, so a finished study's calls are
+// idempotent.
+func (s *Study) RunContext(ctx context.Context) (*core.Dataset, error) {
+	if s.Data != nil {
+		return s.Data, nil
+	}
+	if s.log != nil {
+		s.log.Printf("searchseizure: run starting (%d days)", s.World.Sim.Days())
+	}
+	data, err := s.World.RunContext(ctx)
+	if err != nil {
+		if s.log != nil {
+			s.log.Printf("searchseizure: run cancelled after %d/%d days: %v",
+				data.DaysRun, s.World.Sim.Days(), err)
+		}
+		return data, err
+	}
+	if s.log != nil {
+		s.log.Printf("searchseizure: run complete (%d days, %d PSRs)", data.DaysRun, data.TotalPSRs())
+	}
+	s.Data = data
+	return data, nil
 }
 
 // Run executes the full longitudinal study (idempotent: subsequent calls
 // return the same dataset).
+//
+// Deprecated: use RunContext, which supports cancellation and partial
+// results. Run remains as an uncancellable shim.
 func (s *Study) Run() *core.Dataset {
-	if s.Data == nil {
-		s.Data = s.World.Run()
-	}
-	return s.Data
+	d, _ := s.RunContext(context.Background())
+	return d
 }
 
-// Experiment renders one of the paper's tables or figures by id (see
-// Experiments for the registry). It runs the study first if needed.
-func (s *Study) Experiment(id string) (string, error) {
+// Experiment computes one of the paper's tables or figures by id (see
+// Experiments for the registry), running the study first if needed. The
+// returned Table renders as text via String and as JSON via Marshal;
+// callers that only ever printed the result keep working, callers that
+// want structure no longer have to parse text.
+func (s *Study) Experiment(id string) (Table, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
-		return "", fmt.Errorf("searchseizure: unknown experiment %q (have %v)", id, ExperimentIDs())
+		return Table{}, fmt.Errorf("searchseizure: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	return e.Run(s.Run()).String(), nil
+	return Table{ID: e.ID, Title: e.Title, Result: e.Run(s.Run())}, nil
 }
 
-// MustExperiment is Experiment, panicking on unknown ids.
-func (s *Study) MustExperiment(id string) string {
+// MustExperiment is Experiment, panicking on unknown ids. It is intended
+// for tests and examples, where an unknown id is a programming error;
+// production callers should use Experiment and handle the error.
+func (s *Study) MustExperiment(id string) Table {
 	out, err := s.Experiment(id)
 	if err != nil {
 		panic(err)
@@ -142,10 +294,10 @@ func Ablations() []ExperimentInfo {
 }
 
 // RunAblation executes one ablation by id against a base configuration.
-func RunAblation(id string, base Config) (string, error) {
+func RunAblation(id string, base Config) (Table, error) {
 	a, ok := experiments.AblationByID(id)
 	if !ok {
-		return "", fmt.Errorf("searchseizure: unknown ablation %q", id)
+		return Table{}, fmt.Errorf("searchseizure: unknown ablation %q", id)
 	}
-	return a.Run(base).String(), nil
+	return Table{ID: a.ID, Title: a.Title, Result: a.Run(base)}, nil
 }

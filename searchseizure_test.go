@@ -57,7 +57,10 @@ func TestEveryExperimentRenders(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
-		if len(out) < 40 {
+		if out.ID != e.ID || out.Title != e.Title {
+			t.Fatalf("%s: table identifies as %q/%q", e.ID, out.ID, out.Title)
+		}
+		if len(out.String()) < 40 {
 			t.Fatalf("%s output too small", e.ID)
 		}
 	}
@@ -84,7 +87,7 @@ func TestUnknownAblation(t *testing.T) {
 
 func TestTable1MentionsVerticals(t *testing.T) {
 	s := sharedStudy(t)
-	out := s.MustExperiment("table1")
+	out := s.MustExperiment("table1").String()
 	for _, v := range []string{"Louis Vuitton", "Uggs", "Beats By Dre", "Total"} {
 		if v == "Total" {
 			continue // totals are the caller's job via Totals()
