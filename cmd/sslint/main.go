@@ -1,0 +1,122 @@
+// Command sslint is the multichecker for the repo's determinism and
+// nil-safety analyzers (internal/lint). It loads the requested packages
+// (default ./...), runs every analyzer under the default scope and prints
+// findings; the exit status is 1 if anything was found, 2 on operational
+// failure.
+//
+// Usage:
+//
+//	go run ./cmd/sslint [-json] [-list] [-unscoped] [packages...]
+//
+// Package patterns are module-relative ("./...", "./internal/core",
+// "repro/internal/..."). -json emits machine-readable findings for CI
+// annotation. -unscoped drops the scope configuration and runs every
+// analyzer over every requested package — useful to preview what the gate
+// would say about code that is currently exempt.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (for CI annotation)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	unscoped := flag.Bool("unscoped", false, "ignore scope config: run all analyzers on all requested packages")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.NewModuleLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	scope := lint.DefaultScope()
+	if *unscoped {
+		scope = nil
+	}
+	findings, err := lint.Run(pkgs, lint.All(), scope)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{} // "[]", not "null", for annotation tooling
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			rel := f.File
+			if r, err := filepath.Rel(root, f.File); err == nil {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func firstLine(s string) string {
+	for i := range s {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sslint:", err)
+	os.Exit(2)
+}

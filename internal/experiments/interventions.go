@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -29,9 +30,18 @@ func HackedLabels(d *core.Dataset) *HackedLabelsResult {
 		res.LabeledPSRs += vo.LabeledObservations
 		res.EligiblePSRs += vo.LabelEligible
 	}
+	// Walk labeled domains in sorted order: delays feeds MeanStddev, and
+	// float accumulation is not associative — map-order iteration would
+	// wobble the reported delay statistics between runs.
+	doms := make([]string, 0, len(d.DoorLabeledOn))
+	for dom := range d.DoorLabeledOn {
+		doms = append(doms, dom)
+	}
+	sort.Strings(doms)
 	var delays []float64
 	lab := d.World().Labeler
-	for dom, labeled := range d.DoorLabeledOn {
+	for _, dom := range doms {
+		labeled := d.DoorLabeledOn[dom]
 		res.LabeledDomains++
 		// The detection clock runs from when the domain first presented a
 		// labelable (root-dominant) profile. Mass-demotion labels have no

@@ -1,0 +1,56 @@
+// Package analysis is a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The repo
+// vendors no third-party modules, so sslint carries its own framework; the
+// shapes match the upstream API closely enough that an analyzer written
+// here ports to x/tools mechanically if the module ever grows the
+// dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run inspects the package presented by the
+// Pass and reports findings via Pass.Report; the returned value is unused
+// today (upstream uses it for facts) and may be nil.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sslint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary, the
+	// rest explains the precise rule and its escape hatches.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, already filtered by the
+	// driver's scope configuration (a file excluded for this analyzer is
+	// simply absent).
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,116 @@
+// Package analysistest runs one analyzer over fixture packages and checks
+// its findings against expectations written in the fixture source, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which the module
+// cannot depend on). An expectation is a comment
+//
+//	// want `regexp` `regexp` ...
+//
+// on the line the finding is reported at; each finding on a line must
+// match one unmatched expectation there, and every expectation must be
+// consumed. Patterns are double-quoted or backquoted Go strings compiled
+// as regular expressions.
+//
+// Fixtures live under testdata/src/<importpath>/ exactly as upstream:
+// imports resolve against testdata/src first, then the standard library,
+// so fixtures can stub module packages (e.g. repro/internal/parallel).
+//
+// //sslint:ignore directives in fixtures are honoured for the analyzer
+// under test, so suppression behaviour is testable per analyzer.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// expectation is one want pattern awaiting a finding.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.+)$")
+var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package from srcRoot, applies the analyzers
+// (scope-free: every analyzer sees every file) and diffs findings against
+// the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewFixtureLoader(srcRoot)
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	// key findings and expectations by file:line
+	wants := make(map[string][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					pats := patRe.FindAllString(m[1], -1)
+					if len(pats) == 0 {
+						t.Fatalf("%s: want comment with no quoted patterns: %s", key, c.Text)
+					}
+					for _, p := range pats {
+						raw := p
+						if strings.HasPrefix(p, "\"") {
+							if raw, err = strconv.Unquote(p); err != nil {
+								t.Fatalf("%s: bad want pattern %s: %v", key, p, err)
+							}
+						} else {
+							raw = strings.Trim(p, "`")
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	findings, err := lint.Run(pkgs, analyzers, nil)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d:%d: unexpected finding [%s]: %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"path"
+	"strings"
+)
+
+// Scope decides which analyzers run where. Packages outside an analyzer's
+// scope are exempt by configuration — visibly, in one place — rather than
+// by silently never running the tool over them. cmd/ binaries and the
+// interactive CLI, where wall-clock reads and ad-hoc goroutines are
+// legitimate, are therefore simply absent from the lists below.
+type Scope struct {
+	// Packages maps analyzer name to the import-path patterns it covers.
+	// A pattern is an exact import path or a prefix ending in "/...".
+	Packages map[string][]string
+	// ExcludeFiles maps analyzer name to file base names it must skip,
+	// keyed as "importpath:base.go". Used for files whose job is to
+	// bridge the simulation to the real world (the fault-injection
+	// net/http layer drives real connections and may legitimately need
+	// wall-clock deadlines).
+	ExcludeFiles map[string]map[string]bool
+}
+
+// simulationPackages are the deterministic core: everything whose output
+// feeds the dataset fingerprint. The module root ("repro") is the public
+// study API and orchestrates runs, so it is held to the same standard.
+var simulationPackages = []string{
+	"repro",
+	"repro/internal/analytics",
+	"repro/internal/brands",
+	"repro/internal/campaign",
+	"repro/internal/classify",
+	"repro/internal/cnc",
+	"repro/internal/core",
+	"repro/internal/crawler",
+	"repro/internal/experiments",
+	"repro/internal/export",
+	"repro/internal/faults",
+	"repro/internal/htmlgen",
+	"repro/internal/htmlparse",
+	"repro/internal/intervention",
+	"repro/internal/jsmini",
+	"repro/internal/metrics",
+	"repro/internal/purchase",
+	"repro/internal/rng",
+	"repro/internal/searchsim",
+	"repro/internal/simclock",
+	"repro/internal/simweb",
+	"repro/internal/store",
+	"repro/internal/supplier",
+	"repro/internal/traffic",
+}
+
+// DefaultScope is the scope CI enforces over this module.
+//
+// Deliberate exclusions, and why they are configuration rather than gaps:
+//   - cmd/... and internal/cli: operational binaries; server timeouts,
+//     progress ticks and signal handling legitimately read the clock and
+//     spawn goroutines.
+//   - internal/telemetry and internal/parallel are excluded from
+//     nowalltime/poolonly: measuring wall time and running workers is
+//     their entire purpose, and both are proven fingerprint-neutral by
+//     the determinism tests. telemetry still gets maporder (its exposition
+//     formats promise stable output) and is the sole niltelemetry target.
+//   - internal/faults/handler.go is excluded from nowalltime: it is the
+//     net/http fault layer driving real connections, where deadline
+//     plumbing against the machine clock is legitimate.
+func DefaultScope() *Scope {
+	return &Scope{
+		Packages: map[string][]string{
+			NoWallTime.Name:   simulationPackages,
+			SeededRand.Name:   simulationPackages,
+			MapOrder.Name:     append([]string{"repro/internal/telemetry"}, simulationPackages...),
+			PoolOnly.Name:     simulationPackages,
+			NilTelemetry.Name: {"repro/internal/telemetry"},
+		},
+		ExcludeFiles: map[string]map[string]bool{
+			NoWallTime.Name: {"repro/internal/faults:handler.go": true},
+		},
+	}
+}
+
+// AppliesTo reports whether analyzer covers pkgPath. A nil scope applies
+// everything everywhere (used by analyzer unit tests over fixtures).
+func (s *Scope) AppliesTo(analyzer, pkgPath string) bool {
+	if s == nil {
+		return true
+	}
+	for _, pat := range s.Packages[analyzer] {
+		if pat == pkgPath {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok &&
+			(pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// FileExcluded reports whether analyzer must skip the file (base name)
+// inside pkgPath.
+func (s *Scope) FileExcluded(analyzer, pkgPath, filename string) bool {
+	if s == nil {
+		return false
+	}
+	return s.ExcludeFiles[analyzer][pkgPath+":"+path.Base(filename)]
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//sslint:ignore <analyzer> <reason>
+//
+// A directive placed as an end-of-line comment, or on its own line
+// directly above a statement or declaration, suppresses that analyzer's
+// findings within the annotated statement/declaration (so a directive
+// above a map-range loop covers findings inside the loop body, and one
+// above a method covers the method). The analyzer name must belong to the
+// suite and the reason is mandatory — a suppression without a recorded
+// justification is itself a finding. So is a directive that suppresses
+// nothing: suppressions cannot rot in place after the code they excused is
+// refactored away.
+const ignorePrefix = "sslint:ignore"
+
+// directive is one parsed //sslint:ignore comment.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int // line the directive appears on
+	endLine  int // last line the directive covers
+	analyzer string
+	reason   string
+	malform  string // non-empty if the directive failed to parse
+	used     bool
+}
+
+// parseDirectives extracts sslint directives from a file's comments and
+// computes each one's coverage span from the statement layout.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments cannot carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			// A reason never needs to quote further comments; cutting at
+			// an embedded "//" lets fixture files pair directives with
+			// expectation comments on one line.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			p := fset.Position(c.Pos())
+			d := &directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.malform = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.analyzer = fields[0]
+				d.malform = "missing reason: every suppression must say why the nondeterminism is acceptable"
+			default:
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	spans := stmtSpans(fset, f)
+	for _, d := range out {
+		d.endLine = d.line + 1
+		if end, ok := spans[d.line]; ok && end > d.endLine {
+			d.endLine = end // trailing comment on a multi-line statement
+		}
+		if end, ok := spans[d.line+1]; ok && end > d.endLine {
+			d.endLine = end // directive line above the annotated statement
+		}
+	}
+	return out
+}
+
+// stmtSpans maps the starting line of every statement and declaration in f
+// to the furthest ending line among nodes starting there.
+func stmtSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > spans[start] {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			record(n)
+		}
+		return true
+	})
+	return spans
+}
+
+// suppress drops findings covered by a directive (marking it used) and
+// appends findings for malformed, unknown-analyzer and unused directives.
+// ran is the set of analyzer names that actually ran on the package —
+// directives for analyzers outside it are left alone, so running a single
+// analyzer over a fixture does not miscount the others' suppressions as
+// rot. known is the full suite's analyzer names, for validation.
+func suppress(fset *token.FileSet, findings []Finding, dirs []*directive, ran, known map[string]bool) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.malform != "" || d.analyzer != f.Analyzer {
+				continue
+			}
+			if f.Pos.Filename == d.file && f.Pos.Line >= d.line && f.Pos.Line <= d.endLine {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.malform != "":
+			kept = append(kept, Finding{
+				Analyzer: "sslint",
+				Pos:      fset.Position(d.pos),
+				Message:  "malformed //" + ignorePrefix + " directive: " + d.malform,
+			})
+		case !known[d.analyzer]:
+			kept = append(kept, Finding{
+				Analyzer: "sslint",
+				Pos:      fset.Position(d.pos),
+				Message:  "//" + ignorePrefix + " names unknown analyzer " + strconv.Quote(d.analyzer),
+			})
+		case ran[d.analyzer] && !d.used:
+			kept = append(kept, Finding{
+				Analyzer: "sslint",
+				Pos:      fset.Position(d.pos),
+				Message:  "unused //" + ignorePrefix + " " + d.analyzer + " directive suppresses nothing; delete it (stale suppressions hide future regressions)",
+			})
+		}
+	}
+	sortFindings(kept)
+	return kept
+}
+
+// sortFindings orders findings by file, line, column, analyzer, message.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

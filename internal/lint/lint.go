@@ -1,0 +1,120 @@
+// Package lint is sslint: a suite of static analyzers that mechanically
+// enforce the determinism and nil-safety invariants every headline number
+// in this reproduction rests on. The golden fingerprint tests prove a
+// study replayed bit-identically *this time*; sslint proves the properties
+// that make it replay at all — no wall-clock reads, no global randomness,
+// no map-order-dependent dataflow, no unguarded telemetry handles, no
+// unsanctioned goroutines — before any test runs.
+//
+// Run it as `go run ./cmd/sslint ./...`; CI runs the same command with
+// -json and fails on any finding. Suppressions are explicit, reasoned and
+// checked: see the directive documentation in directive.go.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// All returns the full sslint analyzer suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapOrder, NilTelemetry, NoWallTime, PoolOnly, SeededRand}
+}
+
+// Finding is one reported issue, positioned and attributed.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// Run executes analyzers over pkgs under scope (nil scope = everything
+// applies, for fixture tests), applies //sslint:ignore suppression, checks
+// for directive rot and returns the surviving findings sorted by position.
+// Analyzer errors abort the run: a linter that half-ran is worse than one
+// that failed loudly.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope *Scope) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		ran := make(map[string]bool)
+		for _, a := range analyzers {
+			if !scope.AppliesTo(a.Name, pkg.PkgPath) {
+				continue
+			}
+			files := make([]*ast.File, 0, len(pkg.Files))
+			for _, f := range pkg.Files {
+				if !scope.FileExcluded(a.Name, pkg.PkgPath, pkg.Fset.Position(f.FileStart).Filename) {
+					files = append(files, f)
+				}
+			}
+			ran[a.Name] = true
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Message:  d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		var dirs []*directive
+		for _, f := range pkg.Files {
+			dirs = append(dirs, parseDirectives(pkg.Fset, f)...)
+		}
+		findings = suppress(pkg.Fset, findings, dirs, ran, known)
+		all = append(all, findings...)
+	}
+	sortFindings(all)
+	// Re-derive the serialisable position fields (suppress may have
+	// added directive findings that only set Pos).
+	for i := range all {
+		all[i].File = all[i].Pos.Filename
+		all[i].Line = all[i].Pos.Line
+		all[i].Column = all[i].Pos.Column
+	}
+	return dedupe(all), nil
+}
+
+// dedupe removes exact-duplicate findings (overlapping trigger rules may
+// fire twice on one expression).
+func dedupe(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 {
+			p := fs[i-1]
+			if p.Analyzer == f.Analyzer && p.Pos == f.Pos && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+func one(a *analysis.Analyzer) []*analysis.Analyzer { return []*analysis.Analyzer{a} }
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.NoWallTime), "nowalltime")
+}
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.SeededRand), "seededrand")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.MapOrder), "maporder")
+}
+
+func TestNilTelemetry(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.NilTelemetry), "niltelemetry")
+}
+
+func TestPoolOnly(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.PoolOnly), "poolonly")
+}
+
+// TestDirectives runs the whole suite over the directive fixtures: used
+// suppressions vanish, malformed/unknown/unused directives surface.
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lint.All(), "ignoredir")
+}

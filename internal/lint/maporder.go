@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapOrder flags ranging over a map when the loop body feeds an
+// order-dependent sink and no deterministic sort rescues the result.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map iteration that feeds order-dependent sinks
+
+Go randomises map iteration order per run, so a map range whose body
+appends to a slice, sends on a channel, writes into a hash/fingerprint or
+byte sink, or calls through an interface sink makes the result depend on
+iteration order — exactly the nondeterminism the golden fingerprint tests
+only catch probabilistically.
+
+Order-independent reductions (sums, maxima, counts, writes into another
+map or set) are not flagged. The canonical collect-keys-then-sort idiom is
+recognised: a loop that only appends to a slice which is sorted later in
+the same block (sort.* or slices.Sort*) passes. Anything else needs a
+deterministic sort or a justified //sslint:ignore maporder directive
+(appropriate only where the nondeterminism is provably sunk, e.g. a
+telemetry snapshot that is itself re-sorted before use).`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := blockStmts(n)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, block[i+1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// blockStmts returns the statement list of any block-like node.
+func blockStmts(n ast.Node) ([]ast.Stmt, bool) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List, true
+	case *ast.CaseClause:
+		return n.Body, true
+	case *ast.CommClause:
+		return n.Body, true
+	}
+	return nil, false
+}
+
+// isMapRange reports whether rs ranges over a map value.
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-dependent sinks.
+// rest is the tail of the enclosing block after the range statement, where
+// a rescuing sort may appear.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"map iteration sends on a channel: receive order depends on map order; collect and sort first")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+					continue
+				}
+				target := rootObject(pass, call.Args[0])
+				if target == nil || sortedLater(pass, target, rest) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"map iteration appends to %q with no later sort in this block: element order depends on map order; sort %q before use or iterate sorted keys", target.Name(), target.Name())
+			}
+		case *ast.CallExpr:
+			checkSinkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkSinkCall flags calls inside a map-range body that push data into an
+// order-sensitive sink: hash/byte-writer methods, or side-effecting calls
+// through an interface.
+func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			pass.Reportf(call.Pos(),
+				"map iteration writes into a byte/hash sink via %s: the digest depends on map order; iterate sorted keys", name)
+		}
+	default:
+		// A statement-position call through an interface method is a
+		// sink we cannot see into (telemetry handles, io writers behind
+		// interfaces, observers): the emission order leaks map order.
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return
+		}
+		if _, isIface := selection.Recv().Underlying().(*types.Interface); !isIface {
+			return
+		}
+		if callHasNoResult(pass, call) {
+			pass.Reportf(call.Pos(),
+				"map iteration calls interface method %s for effect: emission order depends on map order; iterate sorted keys", name)
+		}
+	}
+}
+
+// callHasNoResult reports whether the call's value is unused as far as the
+// type checker is concerned (it types as void / appears for effect only).
+func callHasNoResult(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return true
+	}
+	return tv.IsVoid()
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the base identifier of an expression (x, x.f, x[i])
+// to its object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedLater reports whether some statement in rest sorts target: a call
+// to sort.* or slices.* mentioning the object anywhere in its arguments.
+func sortedLater(pass *analysis.Pass, target types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NilTelemetry enforces the "nil Registry is the no-op sink" contract: in
+// the telemetry package, every exported method on a pointer receiver must
+// nil-guard the receiver before touching it.
+var NilTelemetry = &analysis.Analyzer{
+	Name: "niltelemetry",
+	Doc: `require nil-receiver guards on exported telemetry handle methods
+
+internal/telemetry promises that a nil *Registry — and every handle
+obtained from one (*Counter, *Gauge, *Histogram, *Stage, *PoolMetrics) —
+is an inert no-op. Call sites are written against that promise and never
+check for nil, so a single exported method that dereferences a nil
+receiver turns "telemetry disabled" into a panic. This analyzer requires
+each exported pointer-receiver method to guard (if recv == nil, with an
+early return or panic-free exit) before the receiver's first use.
+Statements that do not touch the receiver may precede the guard; methods
+that never use their receiver need none.`,
+	Run: runNilTelemetry,
+}
+
+func runNilTelemetry(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unnamed: the body cannot touch it
+			}
+			recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			if pos, ok := firstUnguardedUse(pass, fd.Body.List, recvObj); ok {
+				// Report at the declaration: the finding is a contract
+				// violation of the method, and that is also where a
+				// justified //sslint:ignore directive reads best.
+				use := pass.Fset.Position(pos)
+				pass.Reportf(fd.Name.Pos(),
+					"exported method %s on pointer receiver uses %q (line %d) before a nil guard; begin with `if %s == nil` to preserve the no-op telemetry contract",
+					fd.Name.Name, recvObj.Name(), use.Line, recvObj.Name())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// firstUnguardedUse scans statements in order. It returns the position of
+// the first receiver use that happens before a nil guard, or ok=false if a
+// guard precedes every use (or the receiver is never used).
+func firstUnguardedUse(pass *analysis.Pass, stmts []ast.Stmt, recv types.Object) (token.Pos, bool) {
+	for _, stmt := range stmts {
+		if isNilGuard(pass, stmt, recv) {
+			return token.NoPos, false
+		}
+		if pos, ok := usesObject(pass, stmt, recv); ok {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// isNilGuard reports whether stmt is `if recv == nil { ... }` (possibly
+// `recv == nil || more` as the leftmost condition) whose body exits early
+// (final statement is a return).
+func isNilGuard(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond := ifs.Cond
+	// Walk down the left spine of || chains.
+	for {
+		be, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if be.Op == token.LOR {
+			cond = be.X
+			continue
+		}
+		if be.Op != token.EQL {
+			return false
+		}
+		if !(isObjIdent(pass, be.X, recv) && isNilIdent(pass, be.Y) ||
+			isObjIdent(pass, be.Y, recv) && isNilIdent(pass, be.X)) {
+			return false
+		}
+		break
+	}
+	body := ifs.Body.List
+	if len(body) == 0 {
+		return false
+	}
+	_, isReturn := body[len(body)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+func isObjIdent(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// usesObject returns the position of the first reference to obj inside n,
+// including references captured by function literals.
+func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			pos, found = id.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// machine clock. Referencing any of them (call, method value, deferred
+// call) inside a simulation package breaks the pure-function-of-(config,
+// seed, faults) contract that the golden fingerprint pins.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NoWallTime forbids wall-clock access in simulation packages.
+var NoWallTime = &analysis.Analyzer{
+	Name: "nowalltime",
+	Doc: `forbid wall-clock reads in simulation packages
+
+Simulation code must be a pure function of (config, seed, faults profile):
+days advance through internal/simclock, never through the machine clock.
+This analyzer flags any reference to time.Now, time.Since, time.Until,
+time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker or
+time.AfterFunc. Constructing time.Time values (time.Date, durations,
+formatting) is fine — only reading or waiting on the real clock is not.`,
+	Run: runNoWallTime,
+}
+
+func runNoWallTime(pass *analysis.Pass) (any, error) {
+	for _, use := range sortedUses(pass) {
+		fn, ok := use.obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(use.id.Pos(),
+				"wall-clock call time.%s in simulation package; use internal/simclock (days are the only time axis)", fn.Name())
+		}
+	}
+	return nil, nil
+}
+
+// use pairs an identifier with the object it resolves to.
+type use struct {
+	id  *ast.Ident
+	obj types.Object
+}
+
+// sortedUses returns the Uses entries for the pass's files in position
+// order. TypesInfo.Uses is a map; iterating it directly would make the
+// linter's own output nondeterministic.
+func sortedUses(pass *analysis.Pass) []use {
+	inFiles := make(map[*ast.File]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inFiles[f] = true
+	}
+	uses := make([]use, 0, len(pass.TypesInfo.Uses))
+	for id, obj := range pass.TypesInfo.Uses {
+		uses = append(uses, use{id, obj})
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	// Keep only identifiers inside files this analyzer sees (scope may
+	// have excluded some files of the package).
+	out := uses[:0]
+	for _, u := range uses {
+		pos := u.id.Pos()
+		for f := range inFiles {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// fileContaining locates the pass file whose range covers pos.
+func fileContaining(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

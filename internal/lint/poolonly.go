@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// PoolOnly forbids raw go statements in simulation packages.
+var PoolOnly = &analysis.Analyzer{
+	Name: "poolonly",
+	Doc: `forbid raw go statements in simulation packages
+
+The only sanctioned concurrency inside the simulation is the
+internal/parallel ordered-commit pool: it clamps workers, joins
+deterministically, and commits results in submission order, which is what
+keeps the fingerprint identical at any GOMAXPROCS. A raw go statement
+bypasses all of that — its completion order, panic propagation and
+lifecycle are untracked. Spawn through internal/parallel instead, or if a
+goroutine is provably outside the deterministic dataflow (e.g. it only
+feeds telemetry), justify it with //sslint:ignore poolonly <reason>.`,
+	Run: runPoolOnly,
+}
+
+func runPoolOnly(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw go statement in simulation package; use the internal/parallel ordered-commit pool")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// randPackages are the randomness sources simulation code must not touch.
+// All stochastic draws go through internal/rng seeded substreams, so that
+// a study replays bit-identically from (config, seed, faults profile).
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// SeededRand forbids the global and OS-entropy randomness packages in
+// simulation packages.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: `forbid math/rand, math/rand/v2 and crypto/rand in simulation packages
+
+Global math/rand state is process-wide and scheduling-sensitive;
+crypto/rand is OS entropy. Either one in a simulation package silently
+breaks replay determinism. Simulation code draws from internal/rng seeded
+substreams (Source.Sub) instead, which hand each consumer an independent,
+named, reproducible stream.`,
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *analysis.Pass) (any, error) {
+	// Flag each use of a member of a forbidden package (precise
+	// positions), and fall back to flagging the import itself in any file
+	// where the package is imported but never referenced (blank imports —
+	// math/rand's init seeds global state — or references the
+	// type-checker folded away).
+	usedIn := make(map[*ast.File]map[string]bool)
+	for _, use := range sortedUses(pass) {
+		pkg := use.obj.Pkg()
+		if pkg == nil || !randPackages[pkg.Path()] {
+			continue
+		}
+		// Skip the package-name identifier itself ("rand" in
+		// rand.Intn): the member use that follows carries the report.
+		if _, isPkg := use.obj.(*types.PkgName); isPkg {
+			continue
+		}
+		if f := fileContaining(pass, use.id.Pos()); f != nil {
+			m := usedIn[f]
+			if m == nil {
+				m = make(map[string]bool)
+				usedIn[f] = m
+			}
+			m[pkg.Path()] = true
+		}
+		pass.Reportf(use.id.Pos(),
+			"use of %s.%s in simulation package; draw from internal/rng seeded substreams instead", pkg.Path(), use.obj.Name())
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randPackages[p] || usedIn[f][p] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s in simulation package; draw from internal/rng seeded substreams instead", p)
+		}
+	}
+	return nil, nil
+}

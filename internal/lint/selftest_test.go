@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// TestSuiteRunsCleanOverModule is the meta-gate: sslint over ./... must
+// report nothing. Every invariant the analyzers encode is therefore known
+// to hold on the committed tree, and any future finding is a regression
+// introduced by the change that surfaced it — the gate cannot drift.
+func TestSuiteRunsCleanOverModule(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the walker is missing the tree", len(pkgs))
+	}
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+	}
+}
+
+// TestInjectedWallClockIsCaught proves the CI gate bites: a time.Now()
+// smuggled into repro/internal/core — the exact regression the golden
+// fingerprint would only catch probabilistically — is a build-time
+// finding.
+func TestInjectedWallClockIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/core": {{
+			Name: "zz_injected_regression.go",
+			Src: `package core
+
+import "time"
+
+// injectedJitter is the classic determinism bug: skewing a simulated
+// quantity by the machine clock.
+func injectedJitter() int64 { return time.Now().UnixNano() % 3 }
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/core")
+	if err != nil {
+		t.Fatalf("loading core with injected regression: %v", err)
+	}
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.NoWallTime.Name && strings.Contains(f.Message, "time.Now") {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 {
+		t.Fatalf("expected exactly one nowalltime finding for the injected time.Now, got %d (all findings: %+v)", len(hit), findings)
+	}
+	if filepath.Base(hit[0].File) != "zz_injected_regression.go" {
+		t.Errorf("finding attributed to %s, want the injected file", hit[0].File)
+	}
+}
+
+// TestInjectedRawGoroutineIsCaught does the same for the concurrency
+// invariant: a raw goroutine in the observe path bypassing the
+// ordered-commit pool is refused at analysis time.
+func TestInjectedRawGoroutineIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/core": {{
+			Name: "zz_injected_goroutine.go",
+			Src: `package core
+
+func injectedSpawn(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/core")
+	if err != nil {
+		t.Fatalf("loading core with injected goroutine: %v", err)
+	}
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == lint.PoolOnly.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected raw goroutine in internal/core not caught; findings: %+v", findings)
+	}
+}
+
+// moduleRoot locates the repo root from the test's working directory
+// (internal/lint).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

@@ -1,0 +1,35 @@
+// Package ignoredir exercises the //sslint:ignore directive machinery:
+// used suppressions are honoured silently, while malformed, unknown and
+// unused directives are themselves findings.
+package ignoredir
+
+import "time"
+
+// justified: directive above the statement, used — no findings at all.
+func justified() {
+	//sslint:ignore nowalltime fixture: proving a reasoned suppression is honoured
+	_ = time.Now()
+}
+
+// trailing: directive at end of the offending line, used.
+func trailing() {
+	_ = time.Now() //sslint:ignore nowalltime fixture: trailing placement is honoured too
+}
+
+// wrongAnalyzer: the directive names a different analyzer, so it neither
+// suppresses the clock finding nor counts as used.
+func wrongAnalyzer() {
+	//sslint:ignore poolonly fixture: names the wrong analyzer // want `unused //sslint:ignore poolonly directive`
+	_ = time.Now() // want `wall-clock call time\.Now`
+}
+
+//sslint:ignore nowalltime fixture: nothing below to suppress // want `unused //sslint:ignore nowalltime directive`
+func clean() {}
+
+func missingReason() {
+	//sslint:ignore nowalltime // want `missing reason`
+	_ = time.Now() // want `wall-clock call time\.Now`
+}
+
+//sslint:ignore nosuchanalyzer because reasons // want `unknown analyzer "nosuchanalyzer"`
+func unknownAnalyzer() {}

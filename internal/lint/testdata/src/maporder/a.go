@@ -1,0 +1,126 @@
+// Package maporder exercises the map-iteration-order analyzer: map ranges
+// feeding order-dependent sinks are flagged, order-independent reductions
+// and the collect-then-sort idiom are not.
+package maporder
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// --- flagged forms ---
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to "keys" with no later sort`
+	}
+	return keys
+}
+
+func appendFieldSink(m map[string]int) {
+	type acc struct{ names []string }
+	var a acc
+	for k := range m {
+		a.names = append(a.names, k) // want `appends to "a" with no later sort`
+	}
+	_ = a
+}
+
+func hashFeed(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `writes into a byte/hash sink via Write`
+	}
+	return h.Sum64()
+}
+
+func chanSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `sends on a channel`
+	}
+}
+
+type sink interface{ Emit(string) }
+
+func interfaceSink(m map[string]int, s sink) {
+	for k := range m {
+		s.Emit(k) // want `calls interface method Emit for effect`
+	}
+}
+
+// --- allowed forms ---
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func reuseThenSort(m map[string]int, scratch []string) []string {
+	scratch = scratch[:0]
+	for k := range m {
+		scratch = append(scratch, k)
+	}
+	sort.Strings(scratch)
+	return scratch
+}
+
+// Order-independent reductions must not be flagged: sums, maxima and
+// counts commute, so map order cannot leak into the result.
+func reductions(m map[string]int) (sum, max, count int) {
+	for _, v := range m {
+		sum += v
+		if v > max {
+			max = v
+		}
+		count++
+	}
+	return
+}
+
+func setBuild(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func deleteEntries(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// An interface method whose result is consumed is a query, not a sink.
+func interfaceQuery(m map[string]int, s interface{ Seen(string) bool }) int {
+	n := 0
+	for k := range m {
+		if s.Seen(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranging over a slice is free to feed anything.
+func sliceRange(keys []string, ch chan<- string) {
+	for _, k := range keys {
+		ch <- k
+	}
+}

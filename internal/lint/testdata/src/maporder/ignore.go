@@ -1,0 +1,17 @@
+package maporder
+
+// justified shows the sanctioned escape hatch: a reasoned directive above
+// the loop suppresses findings anywhere inside that statement.
+func justified(m map[string]int, s sink) {
+	//sslint:ignore maporder fixture: the sink is an order-insensitive test double
+	for k := range m {
+		s.Emit(k)
+	}
+}
+
+// trailing shows the end-of-line placement on the loop header.
+func trailing(m map[string]int, ch chan<- string) {
+	for k := range m { //sslint:ignore maporder fixture: consumer drains into a set
+		ch <- k
+	}
+}

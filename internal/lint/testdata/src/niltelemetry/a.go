@@ -1,0 +1,80 @@
+// Package niltelemetry exercises the nil-receiver-guard analyzer: every
+// exported method on a pointer receiver must guard before touching the
+// receiver, preserving the "nil handle is a no-op" contract.
+package niltelemetry
+
+// Handle stands in for a telemetry handle type.
+type Handle struct{ n int64 }
+
+// --- allowed forms ---
+
+// Add guards first: the canonical shape.
+func (h *Handle) Add(v int64) {
+	if h == nil {
+		return
+	}
+	h.n += v
+}
+
+// AddOr guards in the leftmost conjunct of an || chain; short-circuit
+// evaluation keeps the receiver-touching arm safe.
+func (h *Handle) AddOr(v int64) {
+	if h == nil || v < 0 {
+		return
+	}
+	h.n += v
+}
+
+// LocalsFirst may compute receiver-free locals before the guard.
+func (h *Handle) LocalsFirst(v int64) int64 {
+	scaled := v * 2
+	if h == nil {
+		return scaled
+	}
+	return scaled + h.n
+}
+
+// NilFlipped accepts the guard written backwards.
+func (h *Handle) NilFlipped() int64 {
+	if nil == h {
+		return 0
+	}
+	return h.n
+}
+
+// Reset never uses its receiver through an unnamed binding, so there is
+// nothing to guard.
+func (*Handle) Reset() {}
+
+// value receivers cannot be nil.
+func (h Handle) Value() int64 { return h.n }
+
+// unexported methods are callee-guarded internals.
+func (h *Handle) bump() { h.n++ }
+
+// --- flagged forms ---
+
+func (h *Handle) Bad(v int64) { // want `exported method Bad on pointer receiver uses "h" \(line \d+\) before a nil guard`
+	h.n += v
+}
+
+// GuardTooLate dereferences before checking.
+func (h *Handle) GuardTooLate(v int64) { // want `exported method GuardTooLate`
+	h.n += v
+	if h == nil {
+		return
+	}
+}
+
+// GuardNoExit checks but falls through to the dereference anyway.
+func (h *Handle) GuardNoExit(v int64) { // want `exported method GuardNoExit`
+	if h == nil {
+		v = 0
+	}
+	h.n += v
+}
+
+// Captured leaks the unguarded receiver into a closure.
+func (h *Handle) Captured() func() int64 { // want `exported method Captured`
+	return func() int64 { return h.n }
+}

@@ -1,0 +1,37 @@
+// Package nowalltime exercises the wall-clock analyzer: reads of and
+// waits on the machine clock are flagged; constructing and arithmetic on
+// time values is allowed.
+package nowalltime
+
+import "time"
+
+func flagged() {
+	_ = time.Now()                             // want `wall-clock call time\.Now`
+	time.Sleep(time.Millisecond)               // want `wall-clock call time\.Sleep`
+	_ = time.Since(time.Time{})                // want `wall-clock call time\.Since`
+	_ = time.Until(time.Time{})                // want `wall-clock call time\.Until`
+	<-time.After(time.Millisecond)             // want `wall-clock call time\.After`
+	_ = time.NewTimer(time.Second)             // want `wall-clock call time\.NewTimer`
+	_ = time.NewTicker(time.Second)            // want `wall-clock call time\.NewTicker`
+	_ = time.Tick(time.Second)                 // want `wall-clock call time\.Tick`
+	_ = time.AfterFunc(time.Second, func() {}) // want `wall-clock call time\.AfterFunc`
+}
+
+func flaggedIndirect() {
+	// Taking a clock function as a value is as order-breaking as calling
+	// it: the call just happens elsewhere.
+	clock := time.Now // want `wall-clock call time\.Now`
+	_ = clock
+	defer time.Sleep(0) // want `wall-clock call time\.Sleep`
+}
+
+func allowed() {
+	d := 5 * time.Second
+	_ = d
+	t := time.Date(2013, time.March, 1, 0, 0, 0, 0, time.UTC)
+	t = t.Add(24 * time.Hour)
+	_ = t.Sub(t)
+	_ = t.Format(time.RFC3339)
+	_ = time.Duration(42)
+	_ = time.Unix(0, 0)
+}

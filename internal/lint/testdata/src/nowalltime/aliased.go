@@ -1,0 +1,8 @@
+package nowalltime
+
+import wall "time"
+
+// Renaming the import does not hide the clock.
+func aliased() {
+	_ = wall.Now() // want `wall-clock call time\.Now`
+}

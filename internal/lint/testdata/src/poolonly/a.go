@@ -1,0 +1,37 @@
+// Package poolonly exercises the raw-goroutine analyzer: go statements
+// are flagged wherever they appear; the internal/parallel ordered-commit
+// pool is the sanctioned alternative.
+package poolonly
+
+import "repro/internal/parallel"
+
+func flagged(work []func()) {
+	done := make(chan struct{})
+	go func() { // want `raw go statement in simulation package`
+		close(done)
+	}()
+	<-done
+	for _, w := range work {
+		go w() // want `raw go statement in simulation package`
+	}
+}
+
+func flaggedNested() {
+	f := func() {
+		go func() {}() // want `raw go statement in simulation package`
+	}
+	f()
+}
+
+func allowed(items []int) []int {
+	out := make([]int, len(items))
+	parallel.ForEach(len(items), func(i int) { out[i] = items[i] * 2 })
+	return out
+}
+
+// justified shows the escape hatch for goroutines provably outside the
+// deterministic dataflow.
+func justified(notify chan<- struct{}) {
+	//sslint:ignore poolonly fixture: fire-and-forget progress notification never rejoins the dataflow
+	go func() { notify <- struct{}{} }()
+}

@@ -1,0 +1,11 @@
+// Package parallel is a fixture stub for the module's ordered-commit
+// pool, giving "allowed form" fixtures the sanctioned spelling. The stub
+// runs serially: fixtures only need the shape, not the concurrency.
+package parallel
+
+// ForEach applies fn to each index.
+func ForEach(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,31 @@
+// Package rng is a fixture stub standing in for the module's seeded
+// substream source, so "allowed form" fixtures can show the sanctioned
+// idiom without depending on the real tree.
+package rng
+
+// Source is a deterministic stream.
+type Source struct{ state uint64 }
+
+// New returns a seeded source.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Sub derives a named substream.
+func (s *Source) Sub(name string) *Source {
+	child := s.state
+	for _, c := range name {
+		child = child*1099511628211 + uint64(c)
+	}
+	return &Source{state: child}
+}
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+// Intn draws from [0, n).
+func (s *Source) Intn(n int) int { return int(s.Uint64() % uint64(n)) }
+
+// Float64 draws from [0, 1).
+func (s *Source) Float64() float64 { return float64(s.Uint64()>>11) / (1 << 53) }

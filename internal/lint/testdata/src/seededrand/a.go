@@ -1,0 +1,29 @@
+// Package seededrand exercises the randomness analyzer: math/rand,
+// math/rand/v2 and crypto/rand are forbidden; internal/rng substreams are
+// the sanctioned source.
+package seededrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"repro/internal/rng"
+)
+
+func flagged() {
+	_ = rand.Intn(10)                  // want `use of math/rand\.Intn`
+	_ = rand.Float64()                 // want `use of math/rand\.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `use of math/rand\.Shuffle`
+	_ = rand.New(rand.NewSource(1))    // want `use of math/rand\.New` `use of math/rand\.NewSource`
+	_ = randv2.IntN(10)                // want `use of math/rand/v2\.IntN`
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want `use of crypto/rand\.Read`
+	_ = crand.Reader       // want `use of crypto/rand\.Reader`
+}
+
+func allowed() {
+	r := rng.New(42).Sub("traffic")
+	_ = r.Intn(10)
+	_ = r.Float64()
+}

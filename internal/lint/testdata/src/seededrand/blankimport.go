@@ -1,0 +1,5 @@
+package seededrand
+
+// A blank import still runs math/rand's init and advertises intent; with
+// no member uses in this file, the import line itself is the finding.
+import _ "math/rand" // want `import of math/rand`

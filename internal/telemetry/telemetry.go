@@ -66,7 +66,12 @@ func (c *Counter) Add(delta int64) {
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 on a nil counter).
 func (c *Counter) Value() int64 {
