@@ -21,12 +21,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	searchseizure "repro"
 	"repro/internal/htmlparse"
+	"repro/internal/lint"
+	"repro/internal/lint/load"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -55,6 +59,14 @@ type report struct {
 	// so the archived JSON captures workload shape (fetch chains, retries,
 	// breaker trips, injected faults), not just wall time.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// SslintWallMs is one full sslint pass over ./... — load, type-check,
+	// fact propagation, all analyzers — so analyzer performance regressions
+	// land in the same per-commit diff as the pipeline numbers.
+	SslintWallMs float64 `json:"sslint_wall_ms"`
+	// SslintFindings counts the pass's raw (pre-baseline) findings; CI
+	// gates on cmd/sslint separately, this is just cross-checkable context
+	// for the timing.
+	SslintFindings int `json:"sslint_findings"`
 }
 
 // benchCfg mirrors the root package's ablationConfig: small enough that a
@@ -91,6 +103,25 @@ func runMin(name string, samples int, fn func(b *testing.B)) result {
 		}
 	}
 	return best
+}
+
+// sslintModuleRoot walks up from the working directory to go.mod, so the
+// timing works whether CI runs benchjson from the root or a subdirectory.
+func sslintModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
 }
 
 func main() {
@@ -173,6 +204,34 @@ func main() {
 			htmlparse.Triplets(doc)
 		}
 	}))
+
+	// Time one full sslint pass. Wall clock is the right unit here — the
+	// linter gates every CI run, so its end-to-end latency is the cost
+	// developers actually pay.
+	sslintStart := time.Now()
+	root, err := sslintModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sslint timing:", err)
+		os.Exit(1)
+	}
+	loader, err := load.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sslint timing:", err)
+		os.Exit(1)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sslint timing:", err)
+		os.Exit(1)
+	}
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sslint timing:", err)
+		os.Exit(1)
+	}
+	rep.SslintWallMs = float64(time.Since(sslintStart).Microseconds()) / 1000
+	rep.SslintFindings = len(findings)
+	fmt.Fprintf(os.Stderr, "%-28s %10.1fms %8d finding(s)\n", "sslint ./...", rep.SslintWallMs, len(findings))
 
 	// Run one small faults-moderate study with a live registry and archive
 	// its metrics snapshot: fetch-chain shape, retries, breaker trips and

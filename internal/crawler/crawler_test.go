@@ -173,6 +173,46 @@ func TestRenderStaticIframe(t *testing.T) {
 	}
 }
 
+// TestRenderStyleSizedIframe covers the absent-vs-empty attribute
+// distinction: an iframe with no width/height attributes takes its
+// dimensions from the inline style and is full-page, while explicit empty
+// attributes are the author's (degenerate) values and suppress the style
+// fallback.
+func TestRenderStyleSizedIframe(t *testing.T) {
+	rr := Render(`<html><body><iframe src="http://x/" style="border:0;width:100%;height:100%"></iframe></body></html>`, "http://d/", "")
+	if len(rr.Iframes) != 1 {
+		t.Fatalf("iframes = %+v", rr.Iframes)
+	}
+	if f := rr.Iframes[0]; !f.fullPage() {
+		t.Fatalf("style-sized iframe not full-page: %+v", f)
+	}
+
+	rr = Render(`<html><body><iframe src="http://x/" width="" height="" style="width:100%;height:100%"></iframe></body></html>`, "http://d/", "")
+	if len(rr.Iframes) != 1 {
+		t.Fatalf("iframes = %+v", rr.Iframes)
+	}
+	if f := rr.Iframes[0]; f.fullPage() {
+		t.Fatalf("explicit empty attributes must not fall back to style: %+v", f)
+	}
+}
+
+func TestStyleDim(t *testing.T) {
+	cases := []struct {
+		style, prop, want string
+	}{
+		{"width:100%;height:100%", "width", "100%"},
+		{"border:0; width : 900px ;height:100%", "width", "900px"},
+		{"max-width:100%", "width", ""},
+		{"HEIGHT:100%", "height", "100%"},
+		{"", "width", ""},
+	}
+	for i, c := range cases {
+		if got := styleDim(c.style, c.prop); got != c.want {
+			t.Errorf("case %d styleDim(%q, %q) = %q, want %q", i, c.style, c.prop, got, c.want)
+		}
+	}
+}
+
 func TestFullPageRule(t *testing.T) {
 	cases := []struct {
 		w, h string

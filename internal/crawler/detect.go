@@ -107,11 +107,14 @@ func Render(body, pageURL, referrer string) RenderResult {
 		if e.Tag != "iframe" {
 			continue
 		}
-		w, h := e.Attrs["width"], e.Attrs["height"]
-		if w == "" {
+		// Same absent-vs-empty distinction as collectIframes: only an attribute
+		// the script never set falls back to the style-set dimension.
+		w, wok := e.Attrs["width"]
+		if !wok {
 			w = e.Attrs["style:width"]
 		}
-		if h == "" {
+		h, hok := e.Attrs["height"]
+		if !hok {
 			h = e.Attrs["style:height"]
 		}
 		res.Iframes = append(res.Iframes, Iframe{Src: e.Attrs["src"], Width: w, Height: h})
@@ -125,10 +128,37 @@ func Render(body, pageURL, referrer string) RenderResult {
 func collectIframes(root *htmlparse.Node, res *RenderResult) {
 	for _, n := range root.FindAll("iframe") {
 		src, _ := n.Attr("src")
-		w, _ := n.Attr("width")
-		h, _ := n.Attr("height")
+		// Absent and present-but-empty attributes are different signals: an
+		// absent width falls back to the inline style (cloakers size
+		// full-page iframes with style="width:100%;height:100%" as often as
+		// with attributes), while width="" is an explicit author value and
+		// gets no fallback.
+		w, wok := n.Attr("width")
+		h, hok := n.Attr("height")
+		if !wok || !hok {
+			style, _ := n.Attr("style")
+			if !wok {
+				w = styleDim(style, "width")
+			}
+			if !hok {
+				h = styleDim(style, "height")
+			}
+		}
 		res.Iframes = append(res.Iframes, Iframe{Src: src, Width: w, Height: h})
 	}
+}
+
+// styleDim extracts one dimension declaration ("width" or "height") from
+// an inline style attribute; nested declarations like max-width do not
+// match. Returns "" when the property is not declared.
+func styleDim(style, prop string) string {
+	for _, decl := range strings.Split(style, ";") {
+		name, val, ok := strings.Cut(decl, ":")
+		if ok && strings.TrimSpace(strings.ToLower(name)) == prop {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // storeCookieMarkers are Set-Cookie name prefixes associated with the

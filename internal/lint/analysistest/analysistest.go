@@ -45,6 +45,15 @@ var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 // the fixtures' want comments.
 func Run(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunScoped(t, srcRoot, analyzers, nil, pkgPaths...)
+}
+
+// RunScoped is Run with an explicit scope. The interprocedural analyzers
+// need one: purity only reports where a scoped caller crosses into an
+// exempt callee, and under a nil scope (everything in scope) that
+// frontier does not exist.
+func RunScoped(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, scope *lint.Scope, pkgPaths ...string) {
+	t.Helper()
 	loader := load.NewFixtureLoader(srcRoot)
 	pkgs, err := loader.Load(pkgPaths...)
 	if err != nil {
@@ -87,7 +96,7 @@ func Run(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, pkgPaths 
 		}
 	}
 
-	findings, err := lint.Run(pkgs, analyzers, nil)
+	findings, err := lint.Run(pkgs, analyzers, scope)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finalize prepares findings for emission: paths become module-relative
+// with forward slashes (so -json artifacts are byte-identical across
+// machines and operating systems) and every finding gets its stable ID.
+//
+// The ID hashes (analyzer, relative file, message) — deliberately not the
+// line number, so a finding keeps its identity while unrelated edits move
+// it around the file, which is what lets the baseline ratchet down
+// instead of churning. When the same triple legitimately occurs more than
+// once, later occurrences (in position order) get an ordinal suffix.
+func Finalize(findings []Finding, root string) []Finding {
+	out := make([]Finding, len(findings))
+	copy(out, findings)
+	for i := range out {
+		if rel, err := filepath.Rel(root, out[i].File); err == nil && !filepath.IsAbs(rel) {
+			out[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	seen := make(map[string]int)
+	for i := range out {
+		base := findingID(out[i].Analyzer, out[i].File, out[i].Message)
+		seen[base]++
+		if n := seen[base]; n > 1 {
+			out[i].ID = fmt.Sprintf("%s-%d", base, n)
+		} else {
+			out[i].ID = base
+		}
+	}
+	return out
+}
+
+// findingID is a 64-bit FNV-1a over the identity triple, hex-encoded.
+func findingID(analyzer, file, message string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", analyzer, file, message)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BaselineEntry is one grandfathered finding. Analyzer, file and message
+// are recorded alongside the ID so a human reading the baseline knows
+// what debt it carries without recomputing hashes.
+type BaselineEntry struct {
+	ID       string `json:"id"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the checked-in ratchet (lint.baseline.json): findings listed
+// here are pre-existing debt and do not fail the gate, but they may only
+// disappear — a baseline entry that no longer matches any finding is
+// itself an error, forcing the file to be re-written (smaller) in the same
+// change that paid the debt down.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineFile is the canonical baseline name at the module root.
+const BaselineFile = "lint.baseline.json"
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error: the gate simply has no grandfathered debt.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Apply splits finalized findings into fresh (not baselined — these fail
+// the gate) and returns the stale baseline entries that matched nothing
+// (these fail the gate too: the ratchet only turns one way).
+func (b *Baseline) Apply(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	known := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[e.ID] = true
+	}
+	matched := make(map[string]bool)
+	for _, f := range findings {
+		if known[f.ID] {
+			matched[f.ID] = true
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if !matched[e.ID] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// BaselineOf builds a baseline grandfathering every given (finalized)
+// finding.
+func BaselineOf(findings []Finding) *Baseline {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			ID:       f.ID,
+			Analyzer: f.Analyzer,
+			File:     f.File,
+			Message:  f.Message,
+		})
+	}
+	return b
+}
+
+// Write emits the baseline as stable, human-reviewable JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -20,6 +20,13 @@ type Scope struct {
 	// net/http layer drives real connections and may legitimately need
 	// wall-clock deadlines).
 	ExcludeFiles map[string]map[string]bool
+	// TrustedImpure lists functions — by types.Func.FullName, e.g.
+	// "(*repro/internal/telemetry.Stage).Start" — asserted
+	// fingerprint-neutral: purity neither propagates their impurity nor
+	// reports calls to them. Trust is granted per function, never per
+	// package, so a helper smuggled into an otherwise-trusted exempt
+	// package is still caught.
+	TrustedImpure map[string]bool
 }
 
 // simulationPackages are the deterministic core: everything whose output
@@ -74,9 +81,30 @@ func DefaultScope() *Scope {
 			MapOrder.Name:     append([]string{"repro/internal/telemetry"}, simulationPackages...),
 			PoolOnly.Name:     simulationPackages,
 			NilTelemetry.Name: {"repro/internal/telemetry"},
+			Purity.Name:       simulationPackages,
+			RaceCapture.Name:  simulationPackages,
+			CtxFlow.Name:      simulationPackages,
 		},
 		ExcludeFiles: map[string]map[string]bool{
 			NoWallTime.Name: {"repro/internal/faults:handler.go": true},
+			// The net/http fault layer's wall-clock use is sanctioned, so
+			// its internal call chains are exempt from the indirect gate
+			// too; callers elsewhere in faults remain gated.
+			Purity.Name: {"repro/internal/faults:handler.go": true},
+		},
+		// The telemetry span/registry entry points and the parallel pool
+		// drivers read the wall clock and spawn workers by design; the
+		// determinism tests prove them fingerprint-neutral (telemetry is
+		// observation-only, the pool commits in submission order).
+		TrustedImpure: map[string]bool{
+			"repro/internal/telemetry.New":                         true,
+			"(*repro/internal/telemetry.Stage).Start":              true,
+			"(repro/internal/telemetry.Span).End":                  true,
+			"(*repro/internal/telemetry.Registry).Snapshot":        true,
+			"(*repro/internal/telemetry.Registry).SetSpanObserver": true,
+			"repro/internal/parallel.ForEach":                      true,
+			"repro/internal/parallel.ForEachObserved":              true,
+			"repro/internal/parallel.Map":                          true,
 		},
 	}
 }
@@ -106,4 +134,14 @@ func (s *Scope) FileExcluded(analyzer, pkgPath, filename string) bool {
 		return false
 	}
 	return s.ExcludeFiles[analyzer][pkgPath+":"+path.Base(filename)]
+}
+
+// Trusted reports whether the function (types.Func.FullName) is asserted
+// fingerprint-neutral for interprocedural analyzers. A nil scope trusts
+// nothing — fixture tests see every effect.
+func (s *Scope) Trusted(analyzer, fullName string) bool {
+	if s == nil {
+		return false
+	}
+	return s.TrustedImpure[fullName]
 }

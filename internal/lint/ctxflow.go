@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces the context-threading discipline on the RunContext
+// cancellation path.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `enforce context.Context threading discipline
+
+Cancellation reaches the day loop through core.RunContext, and it only
+works if the context flows the way the standard library promises tools
+it will: (1) a function that takes a context.Context takes it as the
+first parameter; (2) a context is never stored in a struct field — a
+stored context outlives the call that carried it and silently detaches
+cancellation from the caller; (3) a function that was handed a context
+does not drop it by calling context.Background() or context.TODO() on
+the way to other context-taking calls — the fresh context severs the
+cancellation chain exactly where a user would expect ctrl-C to work.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkCtxSignature(pass, d.Type)
+				if d.Body != nil {
+					checkCtxDrops(pass, d.Type, d.Body)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if isContextExpr(pass, field.Type) {
+							name := "embedded"
+							if len(field.Names) > 0 {
+								name = field.Names[0].Name
+							}
+							pass.Reportf(field.Pos(),
+								"context.Context stored in struct field %s of %s; thread it as the first parameter of the calls that need it", name, ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+		// Function literals get the same signature rule.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCtxSignature(pass, lit.Type)
+				checkCtxDrops(pass, lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCtxSignature flags context parameters that are not first.
+func checkCtxSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter ordinal, counting each name in grouped fields
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextExpr(pass, field.Type) && pos != 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter, not parameter %d", pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkCtxDrops flags context.Background()/TODO() calls inside a function
+// that already has a context parameter: the caller's context was dropped.
+func checkCtxDrops(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft.Params == nil {
+		return
+	}
+	hasCtx := false
+	for _, field := range ft.Params.List {
+		if isContextExpr(pass, field.Type) {
+			hasCtx = true
+			break
+		}
+	}
+	if !hasCtx {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// Nested literals are checked with their own signatures by
+			// the caller's Inspect walk.
+			return lit.Type.Params == nil || !funcTypeHasCtx(pass, lit.Type)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a function that already has a context parameter drops the caller's cancellation; pass the parameter through", name)
+		}
+		return true
+	})
+}
+
+func funcTypeHasCtx(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextExpr(pass, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextExpr reports whether the type expression denotes
+// context.Context.
+func isContextExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

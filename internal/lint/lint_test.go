@@ -30,6 +30,28 @@ func TestPoolOnly(t *testing.T) {
 	analysistest.Run(t, "testdata/src", one(lint.PoolOnly), "poolonly")
 }
 
+// TestPurity needs an explicit scope: the frontier only exists when the
+// caller's package is gated and the callee's is not. purity/sim is the
+// gated simulation stand-in, purity/exempt the trusted-looking library
+// that launders wall-clock reads through helpers and an interface.
+func TestPurity(t *testing.T) {
+	scope := &lint.Scope{
+		Packages: map[string][]string{
+			lint.NoWallTime.Name: {"purity/sim"},
+			lint.Purity.Name:     {"purity/sim"},
+		},
+	}
+	analysistest.RunScoped(t, "testdata/src", one(lint.Purity), scope, "purity/sim")
+}
+
+func TestRaceCapture(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.RaceCapture), "racecapture/a")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.CtxFlow), "ctxflow/a")
+}
+
 // TestDirectives runs the whole suite over the directive fixtures: used
 // suppressions vanish, malformed/unknown/unused directives surface.
 func TestDirectives(t *testing.T) {

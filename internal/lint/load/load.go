@@ -31,6 +31,7 @@ import (
 	"path"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -42,6 +43,12 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// Imports holds the local (same module / same fixture root) packages
+	// this one imports, including blank imports, sorted by import path.
+	// Standard-library imports are absent: facts only attach to local
+	// code. The driver walks these edges to analyze dependencies
+	// bottom-up, so facts are always exported before they are imported.
+	Imports []*Package
 }
 
 // InjectedFile is a synthetic source file appended to a package at load
@@ -116,6 +123,15 @@ func NewFixtureLoader(srcRoot string) *Loader {
 
 // Fset returns the loader's shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Root returns the directory findings should be reported relative to: the
+// module root for module loaders, the fixture source root otherwise.
+func (l *Loader) Root() string {
+	if l.fixtures != "" {
+		return l.fixtures
+	}
+	return l.moduleDir
+}
 
 // modulePathOf extracts the module path from a go.mod file.
 func modulePathOf(gomod string) (string, error) {
@@ -353,6 +369,23 @@ func (l *Loader) loadLocal(importPath string) (*Package, error) {
 		Types:   tpkg,
 		Info:    info,
 	}
+	// Record local import edges (blank imports included — a blank import
+	// still runs the dependency's inits, so its facts still matter). The
+	// type check above has already populated the cache for each of them.
+	seenImp := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seenImp[p] {
+				continue
+			}
+			seenImp[p] = true
+			if dep, ok := l.cache[p]; ok {
+				pkg.Imports = append(pkg.Imports, dep)
+			}
+		}
+	}
+	sort.Slice(pkg.Imports, func(i, j int) bool { return pkg.Imports[i].PkgPath < pkg.Imports[j].PkgPath })
 	l.cache[importPath] = pkg
 	return pkg, nil
 }

@@ -25,8 +25,14 @@ recognised: a loop that only appends to a slice which is sorted later in
 the same block (sort.* or slices.Sort*) passes. Anything else needs a
 deterministic sort or a justified //sslint:ignore maporder directive
 (appropriate only where the nondeterminism is provably sunk, e.g. a
-telemetry snapshot that is itself re-sorted before use).`,
-	Run: runMapOrder,
+telemetry snapshot that is itself re-sorted before use).
+
+It also exports a MapOrdered fact on every function containing an
+unrescued order-dependent map range — in every package, scoped or not —
+which purity propagates through the call graph to catch map-order-shaped
+values laundered through helpers in exempt packages.`,
+	Run:       runMapOrder,
+	FactTypes: []analysis.Fact{(*MapOrdered)(nil)},
 }
 
 func runMapOrder(pass *analysis.Pass) (any, error) {
@@ -81,6 +87,7 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 		case *ast.SendStmt:
 			pass.Reportf(n.Pos(),
 				"map iteration sends on a channel: receive order depends on map order; collect and sort first")
+			exportSourceFact(pass, n.Pos(), new(MapOrdered), &MapOrdered{Via: "channel send in map range"})
 		case *ast.AssignStmt:
 			for _, rhs := range n.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
@@ -93,6 +100,7 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 				}
 				pass.Reportf(call.Pos(),
 					"map iteration appends to %q with no later sort in this block: element order depends on map order; sort %q before use or iterate sorted keys", target.Name(), target.Name())
+				exportSourceFact(pass, call.Pos(), new(MapOrdered), &MapOrdered{Via: "unsorted append in map range"})
 			}
 		case *ast.CallExpr:
 			checkSinkCall(pass, n)
@@ -115,6 +123,7 @@ func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
 			pass.Reportf(call.Pos(),
 				"map iteration writes into a byte/hash sink via %s: the digest depends on map order; iterate sorted keys", name)
+			exportSourceFact(pass, call.Pos(), new(MapOrdered), &MapOrdered{Via: "byte/hash sink write in map range"})
 		}
 	default:
 		// A statement-position call through an interface method is a
@@ -130,6 +139,7 @@ func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if callHasNoResult(pass, call) {
 			pass.Reportf(call.Pos(),
 				"map iteration calls interface method %s for effect: emission order depends on map order; iterate sorted keys", name)
+			exportSourceFact(pass, call.Pos(), new(MapOrdered), &MapOrdered{Via: "interface-effect call in map range"})
 		}
 	}
 }

@@ -22,52 +22,172 @@ check for nil, so a single exported method that dereferences a nil
 receiver turns "telemetry disabled" into a panic. This analyzer requires
 each exported pointer-receiver method to guard (if recv == nil, with an
 early return or panic-free exit) before the receiver's first use.
-Statements that do not touch the receiver may precede the guard; methods
-that never use their receiver need none.`,
-	Run: runNilTelemetry,
+
+Nil-safety is computed as a fixpoint over NilSafe facts: a method is safe
+if it guards, never touches its receiver, or — the delegation rule — only
+uses the receiver as the operand of nil comparisons and as the receiver
+of calls to other pointer-receiver methods already proven NilSafe. A
+handler that merely wraps r.WritePrometheus therefore needs no guard of
+its own. The fixpoint starts pessimistic, so mutually-recursive methods
+stay flagged until one of them guards.`,
+	Run:       runNilTelemetry,
+	FactTypes: []analysis.Fact{(*NilSafe)(nil)},
 }
 
 func runNilTelemetry(pass *analysis.Pass) (any, error) {
+	type method struct {
+		fd   *ast.FuncDecl
+		fn   *types.Func
+		recv types.Object
+		pre  []ast.Stmt // statements before the first top-level nil guard
+	}
+	var methods []method
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+			if !ok || fd.Recv == nil || fd.Body == nil {
 				continue
 			}
 			recv := fd.Recv.List[0]
 			if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
 				continue // value receivers cannot be nil
 			}
-			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
-				continue // receiver unnamed: the body cannot touch it
-			}
-			recvObj := pass.TypesInfo.Defs[recv.Names[0]]
-			if recvObj == nil {
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
 				continue
 			}
-			if pos, ok := firstUnguardedUse(pass, fd.Body.List, recvObj); ok {
-				// Report at the declaration: the finding is a contract
-				// violation of the method, and that is also where a
-				// justified //sslint:ignore directive reads best.
-				use := pass.Fset.Position(pos)
-				pass.Reportf(fd.Name.Pos(),
-					"exported method %s on pointer receiver uses %q (line %d) before a nil guard; begin with `if %s == nil` to preserve the no-op telemetry contract",
-					fd.Name.Name, recvObj.Name(), use.Line, recvObj.Name())
+			m := method{fd: fd, fn: fn}
+			if len(recv.Names) > 0 && recv.Names[0].Name != "_" {
+				m.recv = pass.TypesInfo.Defs[recv.Names[0]]
+			}
+			if m.recv != nil {
+				m.pre = preGuardStmts(pass, fd.Body.List, m.recv)
+			}
+			methods = append(methods, m)
+		}
+	}
+
+	safe := make(map[*types.Func]bool)
+	isSafe := func(fn *types.Func) bool {
+		if safe[fn] {
+			return true
+		}
+		if fn.Pkg() != pass.Pkg {
+			var ns NilSafe
+			return pass.ImportObjectFact(fn, &ns)
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if safe[m.fn] {
+				continue
+			}
+			if m.recv == nil {
+				safe[m.fn] = true // unnamed receiver: the body cannot touch it
+				changed = true
+				continue
+			}
+			if _, bad := firstHardUse(pass, m.pre, m.recv, isSafe); !bad {
+				safe[m.fn] = true
+				changed = true
 			}
 		}
+	}
+
+	for _, m := range methods {
+		if safe[m.fn] {
+			pass.ExportObjectFact(m.fn, &NilSafe{})
+			continue
+		}
+		if !m.fd.Name.IsExported() {
+			continue
+		}
+		pos, _ := firstHardUse(pass, m.pre, m.recv, isSafe)
+		// Report at the declaration: the finding is a contract violation
+		// of the method, and that is also where a justified
+		// //sslint:ignore directive reads best.
+		use := pass.Fset.Position(pos)
+		pass.Reportf(m.fd.Name.Pos(),
+			"exported method %s on pointer receiver uses %q (line %d) before a nil guard; begin with `if %s == nil` to preserve the no-op telemetry contract",
+			m.fd.Name.Name, m.recv.Name(), use.Line, m.recv.Name())
 	}
 	return nil, nil
 }
 
-// firstUnguardedUse scans statements in order. It returns the position of
-// the first receiver use that happens before a nil guard, or ok=false if a
-// guard precedes every use (or the receiver is never used).
-func firstUnguardedUse(pass *analysis.Pass, stmts []ast.Stmt, recv types.Object) (token.Pos, bool) {
-	for _, stmt := range stmts {
+// preGuardStmts returns the prefix of stmts before the first top-level nil
+// guard (the whole list if the method never guards). Everything after a
+// guard may use the receiver freely.
+func preGuardStmts(pass *analysis.Pass, stmts []ast.Stmt, recv types.Object) []ast.Stmt {
+	for i, stmt := range stmts {
 		if isNilGuard(pass, stmt, recv) {
-			return token.NoPos, false
+			return stmts[:i]
 		}
-		if pos, ok := usesObject(pass, stmt, recv); ok {
+	}
+	return stmts
+}
+
+// firstHardUse returns the position of the first receiver use in stmts
+// that is neither a nil comparison nor a delegating call to a NilSafe
+// pointer-receiver method, or ok=false if every use is safe.
+func firstHardUse(pass *analysis.Pass, stmts []ast.Stmt, recv types.Object, isSafe func(*types.Func) bool) (token.Pos, bool) {
+	benign := make(map[*ast.Ident]bool)
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || pass.TypesInfo.Uses[id] != recv {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return true
+				}
+				target, ok := selection.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				// Delegation is only nil-safe through a pointer receiver
+				// (calling a value-receiver method dereferences the nil
+				// pointer before the body even runs).
+				sig := target.Type().(*types.Signature)
+				if r := sig.Recv(); r != nil {
+					if _, isPtr := r.Type().(*types.Pointer); isPtr && isSafe(target) {
+						benign[id] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [...][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					if id, ok := pair[0].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv && isNilIdent(pass, pair[1]) {
+						benign[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	var pos token.Pos
+	found := false
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv && !benign[id] {
+				pos, found = id.Pos(), true
+			}
+			return !found
+		})
+		if found {
 			return pos, true
 		}
 	}
@@ -122,21 +242,4 @@ func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
 	}
 	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
 	return isNil
-}
-
-// usesObject returns the position of the first reference to obj inside n,
-// including references captured by function literals.
-func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) (token.Pos, bool) {
-	var pos token.Pos
-	found := false
-	ast.Inspect(n, func(node ast.Node) bool {
-		if found {
-			return false
-		}
-		if id, ok := node.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
-			pos, found = id.Pos(), true
-		}
-		return !found
-	})
-	return pos, found
 }

@@ -35,8 +35,14 @@ days advance through internal/simclock, never through the machine clock.
 This analyzer flags any reference to time.Now, time.Since, time.Until,
 time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker or
 time.AfterFunc. Constructing time.Time values (time.Date, durations,
-formatting) is fine — only reading or waiting on the real clock is not.`,
-	Run: runNoWallTime,
+formatting) is fine — only reading or waiting on the real clock is not.
+
+It also exports a UsesClock fact on every function containing such a
+reference — in every package, scoped or not — which purity propagates
+through the call graph to catch wall-clock access laundered through
+helpers in exempt packages.`,
+	Run:       runNoWallTime,
+	FactTypes: []analysis.Fact{(*UsesClock)(nil)},
 }
 
 func runNoWallTime(pass *analysis.Pass) (any, error) {
@@ -48,6 +54,7 @@ func runNoWallTime(pass *analysis.Pass) (any, error) {
 		if wallClockFuncs[fn.Name()] {
 			pass.Reportf(use.id.Pos(),
 				"wall-clock call time.%s in simulation package; use internal/simclock (days are the only time axis)", fn.Name())
+			exportSourceFact(pass, use.id.Pos(), new(UsesClock), &UsesClock{Via: "time." + fn.Name()})
 		}
 	}
 	return nil, nil

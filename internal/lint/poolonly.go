@@ -18,8 +18,14 @@ keeps the fingerprint identical at any GOMAXPROCS. A raw go statement
 bypasses all of that — its completion order, panic propagation and
 lifecycle are untracked. Spawn through internal/parallel instead, or if a
 goroutine is provably outside the deterministic dataflow (e.g. it only
-feeds telemetry), justify it with //sslint:ignore poolonly <reason>.`,
-	Run: runPoolOnly,
+feeds telemetry), justify it with //sslint:ignore poolonly <reason>.
+
+It also exports a SpawnsGoroutine fact on every function containing a go
+statement — in every package, scoped or not — which purity propagates
+through the call graph to catch spawning laundered through helpers in
+exempt packages.`,
+	Run:       runPoolOnly,
+	FactTypes: []analysis.Fact{(*SpawnsGoroutine)(nil)},
 }
 
 func runPoolOnly(pass *analysis.Pass) (any, error) {
@@ -28,6 +34,7 @@ func runPoolOnly(pass *analysis.Pass) (any, error) {
 			if g, ok := n.(*ast.GoStmt); ok {
 				pass.Reportf(g.Pos(),
 					"raw go statement in simulation package; use the internal/parallel ordered-commit pool")
+				exportSourceFact(pass, g.Pos(), new(SpawnsGoroutine), &SpawnsGoroutine{Via: "go statement"})
 			}
 			return true
 		})

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Purity propagates the base analyzers' source facts through the call
+// graph and reports *indirect* violations: a simulation-scoped call site
+// whose callee — resolved statically or by class-hierarchy analysis for
+// interface calls — can reach a wall-clock read, a global randomness
+// draw, a map-order-dependent value or a raw goroutine through any chain
+// of calls, where the chain's source sits outside the base analyzer's
+// scope and would otherwise never be reported.
+var Purity = &analysis.Analyzer{
+	Name: "purity",
+	Doc: `flag calls that launder impurity through exempt packages
+
+nowalltime, seededrand, maporder and poolonly gate direct violations, but
+only inside their scoped packages: a helper in an exempt package that
+wraps time.Now silently re-enters internal/core through an ordinary call.
+purity closes that hole. It folds the base analyzers' per-function facts
+(UsesClock, UsesRand, MapOrdered, SpawnsGoroutine) transitively over a
+conservative call graph — bottom-up across the dependency closure, with
+interface calls resolved against every named type in the run — and
+reports at the frontier: the scoped call site whose callee lies outside
+the base analyzer's scope. Exemption applies at the sink, not the source;
+an //sslint:ignore inside the exempt callee cannot silence the scoped
+caller.
+
+Functions listed in the scope's TrustedImpure set (the telemetry span and
+parallel pool entry points, proven fingerprint-neutral by the determinism
+tests) are trusted: their impurity neither propagates nor reports. Trust
+is per function, never per package, so an unrelated helper smuggled into
+an exempt package is still caught.`,
+	Run:       runPurity,
+	FactTypes: []analysis.Fact{(*Impure)(nil)},
+	Requires:  []*analysis.Analyzer{NoWallTime, SeededRand, MapOrder, PoolOnly},
+}
+
+func runPurity(pass *analysis.Pass) (any, error) {
+	g := callgraph.Build(pass.Files, pass.TypesInfo, pass.Universe)
+
+	// effects[fn][kind] = representative via chain. Keyed by kind so the
+	// in-package fixpoint terminates on recursive call cycles: a kind is
+	// added at most once per function, and the first discovery (in
+	// deterministic node/call/callee order) fixes the chain.
+	effects := make(map[*types.Func]map[string]string)
+	addEffect := func(fn *types.Func, kind, via string) bool {
+		m := effects[fn]
+		if m == nil {
+			m = make(map[string]string)
+			effects[fn] = m
+		}
+		if _, ok := m[kind]; ok {
+			return false
+		}
+		m[kind] = via
+		return true
+	}
+
+	// Seed with the base analyzers' direct source facts on this package's
+	// functions (their passes already ran: purity Requires them).
+	for _, n := range g.Nodes {
+		var uc UsesClock
+		if pass.ImportObjectFact(n.Fn, &uc) {
+			addEffect(n.Fn, kindClock, uc.Via)
+		}
+		var ur UsesRand
+		if pass.ImportObjectFact(n.Fn, &ur) {
+			addEffect(n.Fn, kindRand, ur.Via)
+		}
+		var mo MapOrdered
+		if pass.ImportObjectFact(n.Fn, &mo) {
+			addEffect(n.Fn, kindMapOrder, mo.Via)
+		}
+		var sg SpawnsGoroutine
+		if pass.ImportObjectFact(n.Fn, &sg) {
+			addEffect(n.Fn, kindGoroutine, sg.Via)
+		}
+	}
+
+	// calleeEffects reads a callee's current effect set: the in-progress
+	// map for functions of this package, the final exported Impure fact
+	// for dependencies (analyzed earlier in bottom-up order).
+	calleeEffects := func(fn *types.Func) []Effect {
+		if pass.TrustedImpure(fn.FullName()) {
+			return nil
+		}
+		if fn.Pkg() == pass.Pkg {
+			m := effects[fn]
+			es := make([]Effect, 0, len(m))
+			for _, kind := range allKinds {
+				if via, ok := m[kind]; ok {
+					es = append(es, Effect{Kind: kind, Via: via})
+				}
+			}
+			return es
+		}
+		var imp Impure
+		if pass.ImportObjectFact(fn, &imp) {
+			return imp.Effects
+		}
+		return nil
+	}
+
+	// Propagate within the package to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, call := range n.Calls {
+				for _, callee := range callCallees(call) {
+					for _, e := range calleeEffects(callee) {
+						if addEffect(n.Fn, e.Kind, funcLabel(callee)+" → "+e.Via) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Export the summaries for downstream packages.
+	for _, n := range g.Nodes {
+		m := effects[n.Fn]
+		if len(m) == 0 {
+			continue
+		}
+		imp := &Impure{}
+		for _, kind := range allKinds {
+			if via, ok := m[kind]; ok {
+				imp.Effects = append(imp.Effects, Effect{Kind: kind, Via: via})
+			}
+		}
+		pass.ExportObjectFact(n.Fn, imp)
+	}
+
+	// Report at the frontier: one diagnostic per (call site, kind) where a
+	// reachable effect's source is outside the base analyzer's scope. The
+	// driver drops reports from packages purity itself does not cover.
+	for _, n := range g.Nodes {
+		for _, call := range n.Calls {
+			seenKind := make(map[string]bool)
+			for _, callee := range callCallees(call) {
+				if pass.TrustedImpure(callee.FullName()) {
+					continue
+				}
+				for _, e := range calleeEffects(callee) {
+					if seenKind[e.Kind] {
+						continue
+					}
+					base := kindBaseAnalyzer[e.Kind]
+					if inBaseScope(pass, base, callee) {
+						// The callee's own body is gated by the base
+						// analyzer; the direct violation is (or was,
+						// before a reasoned ignore) reported there.
+						continue
+					}
+					seenKind[e.Kind] = true
+					label := funcLabel(callee)
+					if call.Interface != "" {
+						label += " (via " + call.Interface + ")"
+					}
+					pass.Reportf(call.Pos,
+						"call to %s reaches %s outside the %s gate: %s → %s; scope exemptions apply at this call site, not in the exempt callee",
+						label, e.Kind, base, funcLabel(callee), e.Via)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// allKinds fixes the deterministic order effects are serialized and
+// reported in.
+var allKinds = []string{kindClock, kindRand, kindMapOrder, kindGoroutine}
+
+// callCallees returns a call's possible targets: the static callee, or
+// the class-hierarchy set for interface calls.
+func callCallees(c callgraph.Call) []*types.Func {
+	if c.Static != nil {
+		return []*types.Func{c.Static}
+	}
+	return c.Dynamic
+}
+
+// inBaseScope reports whether the base analyzer directly covers the
+// callee's definition (package in scope and file not excluded).
+func inBaseScope(pass *analysis.Pass, base string, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	filename := pass.Fset.Position(fn.Pos()).Filename
+	return pass.InSinkScope(base, pkg.Path(), filename)
+}
+
+// funcLabel renders a function for diagnostics: "telemetry.Stage.Start",
+// "parallel.ForEach".
+func funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// RaceCapture statically flags the two closure shapes that turn the
+// internal/parallel ordered-commit pool into a data race: capturing a
+// loop variable, and writing to captured shared state without
+// index-partitioned access. -race catches these only when the schedule
+// cooperates; the shape is visible at compile time.
+var RaceCapture = &analysis.Analyzer{
+	Name: "racecapture",
+	Doc: `flag racy closure shapes handed to the parallel pool
+
+A closure passed to parallel.ForEach / ForEachObserved / Map runs
+concurrently on every worker. Two capture shapes are flagged at the
+closure's creation site:
+
+  - capturing a loop variable of an enclosing for/range statement: even
+    with per-iteration loop variables the closure's correctness silently
+    depends on when the pool runs it relative to the loop;
+  - writing to a captured variable, slice, map or field: concurrent
+    workers race on the shared location. The sanctioned pattern is
+    index-partitioned access — out[i] = ... where the index expression
+    mentions the closure's own parameter — or committing results through
+    the pool's ordered Map return.
+
+The check is interprocedural: racecapture exports a PoolForwarder fact on
+any function that forwards a func-typed parameter into a pool entry point
+(directly or through another forwarder), so a closure handed to a wrapper
+— even one living in an exempt package — is still checked where it is
+built. Exemption applies at the sink (the closure's creation site), not
+at the forwarding helper.`,
+	Run:       runRaceCapture,
+	FactTypes: []analysis.Fact{(*PoolForwarder)(nil)},
+}
+
+func runRaceCapture(pass *analysis.Pass) (any, error) {
+	g := callgraph.Build(pass.Files, pass.TypesInfo, pass.Universe)
+
+	// forwards[fn] = indices of fn's parameters that flow into a pool
+	// entry point. Fixpoint within the package; dependencies' facts are
+	// final already.
+	forwards := make(map[*types.Func]map[int]bool)
+	forwardedParams := func(fn *types.Func) map[int]bool {
+		if isPoolEntry(fn) {
+			out := make(map[int]bool)
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); ok {
+					out[i] = true
+				}
+			}
+			return out
+		}
+		if fn.Pkg() == pass.Pkg {
+			return forwards[fn]
+		}
+		var pf PoolForwarder
+		if pass.ImportObjectFact(fn, &pf) {
+			out := make(map[int]bool, len(pf.Params))
+			for _, i := range pf.Params {
+				out[i] = true
+			}
+			return out
+		}
+		return nil
+	}
+	paramIndex := func(fn *types.Func, obj types.Object) int {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, call := range n.Calls {
+				if call.Static == nil {
+					continue
+				}
+				fwd := forwardedParams(call.Static)
+				for argIdx := range fwd {
+					if argIdx >= len(call.Expr.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Expr.Args[argIdx]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Uses[id]
+					if obj == nil {
+						continue
+					}
+					pi := paramIndex(n.Fn, obj)
+					if pi < 0 || forwards[n.Fn][pi] {
+						continue
+					}
+					if forwards[n.Fn] == nil {
+						forwards[n.Fn] = make(map[int]bool)
+					}
+					forwards[n.Fn][pi] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		m := forwards[n.Fn]
+		if len(m) == 0 {
+			continue
+		}
+		pf := &PoolForwarder{}
+		for i := range m {
+			pf.Params = append(pf.Params, i)
+		}
+		sort.Ints(pf.Params)
+		pass.ExportObjectFact(n.Fn, pf)
+	}
+
+	// Check every closure that reaches a pool, at its creation site.
+	for _, n := range g.Nodes {
+		loopVars := collectLoopVars(pass, n.Decl)
+		localLits := collectFuncLitBindings(pass, n.Decl)
+		for _, call := range n.Calls {
+			if call.Static == nil {
+				continue
+			}
+			fwd := forwardedParams(call.Static)
+			for _, argIdx := range sortedKeysInt(fwd) {
+				if argIdx >= len(call.Expr.Args) {
+					continue
+				}
+				arg := ast.Unparen(call.Expr.Args[argIdx])
+				var lit *ast.FuncLit
+				switch a := arg.(type) {
+				case *ast.FuncLit:
+					lit = a
+				case *ast.Ident:
+					if obj := pass.TypesInfo.Uses[a]; obj != nil {
+						lit = localLits[obj]
+					}
+				}
+				if lit != nil {
+					checkPoolClosure(pass, lit, loopVars)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// sortedKeysInt returns a small int-keyed set's members in order, for
+// deterministic iteration.
+func sortedKeysInt(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isPoolEntry reports whether fn is an internal/parallel entry point
+// taking worker functions.
+func isPoolEntry(fn *types.Func) bool {
+	return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/parallel")
+}
+
+// collectLoopVars gathers the objects declared as for/range loop
+// variables anywhere in decl.
+func collectLoopVars(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	def := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				def(n.Key)
+				if n.Value != nil {
+					def(n.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					def(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectFuncLitBindings maps local variables to the function literal
+// assigned to them ( fn := func(...){...} / var fn = func... / fn = func... ),
+// so closures bound to a name before being handed to the pool are still
+// checked. A variable reassigned a second literal maps to the last one —
+// good enough for the lint shape.
+func collectFuncLitBindings(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	bind := func(lhs ast.Expr, rhs ast.Expr, defs bool) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		var obj types.Object
+		if defs {
+			obj = pass.TypesInfo.Defs[id]
+		} else {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = lit
+		}
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					bind(n.Lhs[i], n.Rhs[i], n.Tok == token.DEFINE)
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					bind(n.Names[i], n.Values[i], true)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkPoolClosure inspects one closure that will run on pool workers.
+func checkPoolClosure(pass *analysis.Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	params := make(map[types.Object]bool)
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	captured := func(obj types.Object) bool {
+		if obj == nil || params[obj] {
+			return false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		// Declared outside the literal's extent = captured (locals of the
+		// enclosing function, or package state).
+		return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+	}
+	mentionsParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	reportWrite := func(pos token.Pos, name string) {
+		pass.Reportf(pos,
+			"closure handed to the parallel pool writes to captured %q without index-partitioned access; partition by the worker index parameter or return results through parallel.Map", name)
+	}
+	checkLHS := func(lhs ast.Expr) {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[l]; captured(obj) {
+				reportWrite(l.Pos(), obj.Name())
+			}
+		case *ast.IndexExpr:
+			root := rootObject(pass, l.X)
+			if !captured(root) {
+				return
+			}
+			// Index-partitioning only excuses slices/arrays: concurrent
+			// map writes race on the map header no matter the key.
+			if tv, ok := pass.TypesInfo.Types[l.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					reportWrite(l.Pos(), root.Name())
+					return
+				}
+			}
+			if !mentionsParam(l.Index) {
+				reportWrite(l.Pos(), root.Name())
+			}
+		case *ast.SelectorExpr:
+			root := rootObject(pass, l)
+			if captured(root) {
+				reportWrite(l.Pos(), root.Name())
+			}
+		case *ast.StarExpr:
+			root := rootObject(pass, l.X)
+			if captured(root) {
+				reportWrite(l.Pos(), root.Name())
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && loopVars[obj] && captured(obj) {
+				pass.Reportf(n.Pos(),
+					"closure handed to the parallel pool captures loop variable %q; pass the value as a parameter or rebind it before the closure", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(n.X)
+		}
+		return true
+	})
+}

@@ -27,8 +27,14 @@ Global math/rand state is process-wide and scheduling-sensitive;
 crypto/rand is OS entropy. Either one in a simulation package silently
 breaks replay determinism. Simulation code draws from internal/rng seeded
 substreams (Source.Sub) instead, which hand each consumer an independent,
-named, reproducible stream.`,
-	Run: runSeededRand,
+named, reproducible stream.
+
+It also exports a UsesRand fact on every function referencing a forbidden
+randomness package — in every package, scoped or not — which purity
+propagates through the call graph to catch draws laundered through
+helpers in exempt packages.`,
+	Run:       runSeededRand,
+	FactTypes: []analysis.Fact{(*UsesRand)(nil)},
 }
 
 func runSeededRand(pass *analysis.Pass) (any, error) {
@@ -58,6 +64,7 @@ func runSeededRand(pass *analysis.Pass) (any, error) {
 		}
 		pass.Reportf(use.id.Pos(),
 			"use of %s.%s in simulation package; draw from internal/rng seeded substreams instead", pkg.Path(), use.obj.Name())
+		exportSourceFact(pass, use.id.Pos(), new(UsesRand), &UsesRand{Via: pkg.Path() + "." + use.obj.Name()})
 	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {

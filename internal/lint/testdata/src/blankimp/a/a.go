@@ -1,0 +1,9 @@
+// Package a blank-imports an impure package: the import edge must be
+// recorded (the dependency's inits still run) and analyzing it must not
+// fail, but with no call edge there is nothing to report here.
+package a
+
+import _ "blankimp/impure"
+
+// Pure is untouched by the blank import.
+func Pure() int { return 4 }

@@ -1,0 +1,48 @@
+// Package a exercises the context-threading rules: first-parameter
+// position, no storage in structs, no dropping mid-chain.
+package a
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want `context.Context stored in struct field ctx of holder`
+}
+
+func secondParam(name string, ctx context.Context) string { // want `context.Context must be the first parameter, not parameter 2`
+	_ = ctx
+	return name
+}
+
+func drop(ctx context.Context) error {
+	return blocking(context.Background()) // want `context.Background\(\) inside a function that already has a context parameter drops the caller's cancellation`
+}
+
+func todoDrop(ctx context.Context) error {
+	return blocking(context.TODO()) // want `context.TODO\(\) inside a function that already has a context parameter drops the caller's cancellation`
+}
+
+func litBad() {
+	fn := func(n int, ctx context.Context) int { // want `context.Context must be the first parameter, not parameter 2`
+		_ = ctx
+		return n
+	}
+	_ = fn
+}
+
+// Controls: correct threading is silent.
+
+func blocking(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func good(ctx context.Context, name string) error {
+	_ = name
+	return blocking(ctx)
+}
+
+// entry has no context parameter of its own, so minting the root context
+// here is legitimate.
+func entry() error {
+	return good(context.Background(), "root")
+}

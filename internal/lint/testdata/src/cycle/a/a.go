@@ -1,0 +1,7 @@
+// Package a is half of a deliberate import cycle for loader error tests.
+package a
+
+import "cycle/b"
+
+// A bounces to b.
+func A() int { return b.B() }

@@ -1,0 +1,7 @@
+// Package b closes the deliberate import cycle.
+package b
+
+import "cycle/a"
+
+// B bounces back to a.
+func B() int { return a.A() }

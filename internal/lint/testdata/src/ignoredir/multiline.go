@@ -1,0 +1,28 @@
+package ignoredir
+
+// multiline proves a directive on its own line above a multi-line
+// statement covers the statement's full extent: the append finding sits
+// three lines below the directive, inside the annotated range statement.
+func multilineCovered(m map[string]int) []int {
+	var out []int
+	//sslint:ignore maporder fixture: directive must span the whole multi-line range statement
+	for _, v := range m {
+		out = append(
+			out,
+			v,
+		)
+	}
+	return out
+}
+
+// trailing proves an end-of-line directive on the first line of a
+// multi-line statement covers its later lines too.
+func trailingCovered(m map[string]int) []int {
+	var out []int
+	for _, v := range m { //sslint:ignore maporder fixture: trailing directive on a multi-line statement
+		out = append(
+			out,
+			v)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package exempt stands in for a scope-exempt helper package (telemetry,
+// parallel, cli): the base analyzers do not report inside it, but the
+// facts computed here are what lets purity catch the laundering below.
+package exempt
+
+import "time"
+
+// Stamp wraps the wall clock one hop away from the caller.
+func Stamp() int64 { return stamp() }
+
+// stamp is the second hop: the impurity is two calls deep and the
+// source-side ignore directive must not protect scoped callers.
+func stamp() int64 {
+	//sslint:ignore nowalltime source-side suppression: legitimate here, irrelevant to scoped callers
+	return time.Now().UnixNano()
+}
+
+// Source is the interface scoped code calls through; resolving its
+// implementers requires the class-hierarchy pass.
+type Source interface {
+	Value() int64
+}
+
+// Clock implements Source on top of the laundered wall clock.
+type Clock struct{}
+
+// Value is three hops from time.Now by the time a caller dispatches
+// through Source.
+func (Clock) Value() int64 { return Stamp() }
+
+// NewClock hands scoped code a Source without naming Clock.
+func NewClock() Source { return Clock{} }
+
+// Pure is a control: calling it from scoped code must not be reported.
+func Pure() int64 { return 42 }

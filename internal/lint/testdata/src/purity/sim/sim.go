@@ -1,0 +1,36 @@
+// Package sim stands in for a simulation-scoped package: every call that
+// can reach impurity inside purity/exempt must be reported here, at the
+// sink, regardless of how many hops or interfaces sit in between.
+package sim
+
+import "purity/exempt"
+
+// Direct crosses the scope frontier in one call.
+func Direct() int64 {
+	return exempt.Stamp() // want `call to exempt.Stamp reaches wall-clock access outside the nowalltime gate`
+}
+
+// ViaInterface crosses it through dynamic dispatch: without the
+// class-hierarchy resolution there is no edge to Clock.Value and this
+// finding disappears.
+func ViaInterface(s exempt.Source) int64 {
+	return s.Value() // want `call to exempt.Clock.Value \(via exempt.Source.Value\) reaches wall-clock access`
+}
+
+// Chained calls a scoped function that itself crosses the frontier: the
+// report belongs to ViaInterface's call site, not here.
+func Chained() int64 {
+	return ViaInterface(exempt.NewClock())
+}
+
+// Suppressed shows the sink-side escape hatch: the directive suppresses
+// exactly this call site and nothing else.
+func Suppressed() int64 {
+	//sslint:ignore purity fixture: this specific call site accepts the impurity
+	return exempt.Stamp()
+}
+
+// Control: pure cross-package calls stay silent.
+func Fine() int64 {
+	return exempt.Pure()
+}

@@ -1,0 +1,69 @@
+// Package a exercises the racy closure shapes racecapture flags at pool
+// call sites — and the sanctioned shapes it must not.
+package a
+
+import (
+	"racecapture/fwd"
+
+	"repro/internal/parallel"
+)
+
+// Partitioned is the sanctioned pattern: each worker writes its own slot.
+func Partitioned(n int) []int {
+	out := make([]int, n)
+	parallel.ForEach(n, func(i int) {
+		out[i] = i * i
+	})
+	return out
+}
+
+// SharedWrite races every worker on one captured accumulator.
+func SharedWrite(n int) int {
+	sum := 0
+	parallel.ForEach(n, func(i int) {
+		sum += i // want `closure handed to the parallel pool writes to captured "sum"`
+	})
+	return sum
+}
+
+// LoopCapture hands the pool a closure over the range variable.
+func LoopCapture(rows [][]int) {
+	for _, row := range rows {
+		parallel.ForEach(len(row), func(i int) {
+			row[i] = 0 // want `closure handed to the parallel pool captures loop variable "row"`
+		})
+	}
+}
+
+// MapWrite shows index-partitioning does not excuse maps: concurrent map
+// writes race no matter the key.
+func MapWrite(n int) map[int]bool {
+	hits := make(map[int]bool)
+	record := func(i int) {
+		hits[i] = true // want `closure handed to the parallel pool writes to captured "hits"`
+	}
+	parallel.ForEach(n, record)
+	return hits
+}
+
+// Forwarded reaches the pool through another package's wrapper: without
+// the PoolForwarder fact the closure never looks pool-bound and the
+// finding disappears.
+func Forwarded(n int) int {
+	total := 0
+	fwd.Run(n, func(i int) {
+		total += i // want `closure handed to the parallel pool writes to captured "total"`
+	})
+	return total
+}
+
+// FieldWrite covers the captured-struct-field shape.
+type acc struct{ n int }
+
+func FieldWrite(n int) int {
+	var a acc
+	parallel.ForEach(n, func(i int) {
+		a.n = i // want `closure handed to the parallel pool writes to captured "a"`
+	})
+	return a.n
+}

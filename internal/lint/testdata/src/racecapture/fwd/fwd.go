@@ -1,0 +1,11 @@
+// Package fwd forwards worker functions into the pool from another
+// package. Closures handed to Run must be checked at their creation
+// site, which only works through the PoolForwarder fact exported here.
+package fwd
+
+import "repro/internal/parallel"
+
+// Run hands fn straight to the pool.
+func Run(n int, fn func(int)) {
+	parallel.ForEach(n, fn)
+}

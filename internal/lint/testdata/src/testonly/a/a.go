@@ -1,0 +1,6 @@
+// Package a is clean; its _test.go file uses the wall clock, which must
+// not taint the library package (only non-test files are loaded).
+package a
+
+// Day is deterministic.
+func Day() int { return 7 }

@@ -1,0 +1,14 @@
+package a
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDay may use the wall clock freely: tests are outside the loaded
+// file set.
+func TestDay(t *testing.T) {
+	if Day() != 7 || time.Now().IsZero() {
+		t.Fatal("impossible")
+	}
+}

@@ -59,9 +59,9 @@ func formatBound(v float64) string {
 }
 
 // MetricsHandler serves WritePrometheus — mount it on /metrics. A nil
-// registry yields a working handler that serves an empty exposition.
-//
-//sslint:ignore niltelemetry the closure only calls WritePrometheus, which nil-guards; a nil registry must still yield a mountable handler
+// registry yields a working handler that serves an empty exposition:
+// sslint's delegation rule proves the closure nil-safe because it only
+// calls WritePrometheus, which nil-guards.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -71,9 +71,8 @@ func (r *Registry) MetricsHandler() http.Handler {
 
 // VarsHandler serves the JSON snapshot in the expvar idiom — mount it on
 // /debug/vars. A nil registry yields a working handler serving the empty
-// snapshot.
-//
-//sslint:ignore niltelemetry the closure only calls Snapshot, which nil-guards; a nil registry must still yield a mountable handler
+// snapshot: sslint's delegation rule proves the closure nil-safe because
+// it only calls Snapshot, which nil-guards.
 func (r *Registry) VarsHandler() http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "application/json; charset=utf-8")
