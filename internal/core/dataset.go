@@ -121,6 +121,11 @@ type Dataset struct {
 	// outages, when no observation of any kind was made.
 	ObservedDays []bool
 
+	// fpIncr is the incremental day fingerprint: a running order-free sum
+	// of per-fact atoms, folded at every mutation (see fingerprint_incr.go).
+	// Read through DayFingerprint; verified against RecomputeDayFingerprint.
+	fpIncr uint64
+
 	world *World
 }
 
@@ -176,6 +181,7 @@ func NewDataset(w *World) *Dataset {
 			CampaignsSeen:     make(map[string]bool),
 		}
 	}
+	d.fpIncr = d.metaAtom()
 	return d
 }
 
@@ -204,7 +210,7 @@ func (d *Dataset) recordSeizure(domain string, c *intervention.CourtCase) {
 	if st, ok := d.world.storeByDom[domain]; ok {
 		storeID = st.ID()
 	}
-	d.Seizures = append(d.Seizures, ObservedSeizure{
+	s := ObservedSeizure{
 		Domain:  domain,
 		Day:     c.Day,
 		CaseID:  c.ID,
@@ -213,7 +219,9 @@ func (d *Dataset) recordSeizure(domain string, c *intervention.CourtCase) {
 		// The crawl observes a seizure when the store domain had been seen
 		// behind PSRs.
 		SeenInPSRs: seen,
-	})
+	}
+	d.fpIncr += seizureAtom(len(d.Seizures), s)
+	d.Seizures = append(d.Seizures, s)
 }
 
 // recordOutage marks a whole-day crawler outage in the coverage mask.
@@ -221,8 +229,9 @@ func (d *Dataset) recordOutage(day simclock.Day) {
 	if !d.FaultsEnabled {
 		return
 	}
-	if int(day) >= 0 && int(day) < len(d.ObservedDays) {
+	if int(day) >= 0 && int(day) < len(d.ObservedDays) && d.ObservedDays[day] {
 		d.ObservedDays[day] = false
+		d.fpIncr += fpU64(pfxOutage, uint64(day))
 	}
 	// Coverage[day] stays 0: nothing was observed.
 }
@@ -237,7 +246,7 @@ func (d *Dataset) recordCoverage(day simclock.Day, covered, total int) {
 	if total > 0 {
 		frac = float64(covered) / float64(total)
 	}
-	d.Coverage.Add(int(day), frac)
+	fpSeriesAdd(&d.fpIncr, pfxCoverage, d.Coverage, int(day), frac)
 }
 
 // MeanCoverage is the study-wide average per-day crawl coverage: 1.0 for a
@@ -264,9 +273,9 @@ func (d *Dataset) OutageDays() int {
 }
 
 func (d *Dataset) recordReaction(st *store.Store, newDomain string, day simclock.Day) {
-	d.Reactions = append(d.Reactions, Reaction{
-		StoreID: st.ID(), Day: day, NewDomain: newDomain,
-	})
+	r := Reaction{StoreID: st.ID(), Day: day, NewDomain: newDomain}
+	d.fpIncr += reactionAtom(len(d.Reactions), r)
+	d.Reactions = append(d.Reactions, r)
 }
 
 // TotalPSRs sums the study-window PSR observations across verticals.

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/brands"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Incremental fingerprinting.
+//
+// Dataset.Fingerprint walks every series and sorted map the dataset holds —
+// O(whole study) per call — which is the right oracle but the wrong thing
+// to pay every day of a long run. This file maintains a second digest, the
+// day fingerprint, as a running sum updated at the exact points the dataset
+// mutates, so reading it is O(1) at any day boundary.
+//
+// The two digests are different functions by necessity: FNV chaining is
+// order-sensitive, so the full fingerprint cannot be patched in place when
+// a value lands mid-stream. The day fingerprint instead sums (mod 2^64)
+// one FNV-hashed *atom* per fact the dataset holds:
+//
+//	counter atoms   one whole atom per unit counted; N counts contribute
+//	                N*atom (addition is how the multiset folds)
+//	set atoms       FNV continued from a per-set prefix state over the
+//	                member string; sets only grow, so inserts only add
+//	series atoms    FNV continued from a per-series prefix over (day,
+//	                float bits); a cell changing from a to b contributes
+//	                atom(b)-atom(a), and zero cells contribute nothing,
+//	                so the zero-filled allocation is digest-neutral
+//	record atoms    seizures/reactions hash their append index too,
+//	                keeping the digest order-sensitive where the dataset is
+//
+// Addition makes the digest independent of update order, which is what
+// lets the parallel observe phase accumulate per-vertical deltas privately
+// (dayObservation.fpDelta) and fold them in the commit phase.
+//
+// The invariant — enforced every day by TestIncrementalFingerprintMatchesFull
+// — is that the accumulator equals RecomputeDayFingerprint, the from-scratch
+// walk over the same atom grammar. Dataset.Fingerprint stays untouched as
+// the cross-check oracle (the faults-off golden value depends on it).
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fpStr continues an FNV-1a state over s plus a NUL terminator (mirroring
+// Fingerprint's str framing, so adjacent strings cannot alias).
+func fpStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0
+	h *= fnvPrime64
+	return h
+}
+
+// fpU64 continues an FNV-1a state over the little-endian bytes of v.
+func fpU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// --- prefix states: computed once, continued per fact ----------------------
+
+// atomCounter is the whole atom one unit of a per-vertical counter adds.
+func atomCounter(v brands.Vertical, kind string) uint64 {
+	return fpStr(fpU64(fpStr(fnvOffset64, "ctr"), uint64(v)), kind)
+}
+
+// setPfx is the prefix state of a per-vertical string set; the member atom
+// is fpStr(pfx, member).
+func setPfx(v brands.Vertical, name string) uint64 {
+	return fpStr(fpU64(fpStr(fnvOffset64, "set"), uint64(v)), name)
+}
+
+// vertSeriesPfx is the prefix state of a per-vertical daily series.
+func vertSeriesPfx(v brands.Vertical, name string) uint64 {
+	return fpStr(fpU64(fpStr(fnvOffset64, "vsr"), uint64(v)), name)
+}
+
+// attrLayerPfx is the prefix of one vertical's attributed-share layer.
+func attrLayerPfx(v brands.Vertical, label string) uint64 {
+	return fpStr(fpU64(fpStr(fnvOffset64, "attr"), uint64(v)), label)
+}
+
+// seriesPfx is the prefix of a dataset-global series (churn, coverage).
+func seriesPfx(name string) uint64 {
+	return fpStr(fpStr(fnvOffset64, "ser"), name)
+}
+
+// campPfx is the prefix of one named field of one campaign's observations.
+func campPfx(name, field string) uint64 {
+	return fpStr(fpStr(fpStr(fnvOffset64, "camp"), name), field)
+}
+
+// watchedPfx is the prefix of one watched store's PSR series.
+func watchedPfx(id, field string) uint64 {
+	return fpStr(fpStr(fpStr(fnvOffset64, "watch"), id), field)
+}
+
+// daySetPfx is the prefix of a string->day map; the member atom is
+// fpU64(fpStr(pfx, key), day).
+func daySetPfx(name string) uint64 {
+	return fpStr(fpStr(fnvOffset64, "dayset"), name)
+}
+
+// Dataset-global prefixes, shared by the incremental updates and the
+// from-scratch recompute.
+var (
+	pfxChurnNew   = seriesPfx("churn_new")
+	pfxChurnTotal = seriesPfx("churn_total")
+	pfxCoverage   = seriesPfx("coverage")
+	pfxOutage     = fpStr(fnvOffset64, "outage")
+	pfxSeizure    = fpStr(fnvOffset64, "seizure")
+	pfxReaction   = fpStr(fnvOffset64, "reaction")
+	pfxStoreSeen  = daySetPfx("store_first_seen")
+	pfxDoorSeen   = daySetPfx("door_first_seen")
+	pfxDoorLabel  = daySetPfx("door_labeled_on")
+	pfxOrders     = fpStr(fnvOffset64, "orders")
+)
+
+// --- atoms ------------------------------------------------------------------
+
+// cellAtom is one series cell's contribution. Zero cells contribute
+// nothing, by definition: a freshly allocated zero-filled series is
+// digest-neutral, and Series.Add(d, 0) leaves both the cell and the digest
+// unchanged.
+func cellAtom(pfx uint64, day int, v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return fpU64(fpU64(pfx, uint64(day)), math.Float64bits(v))
+}
+
+// seriesSum is a whole series' contribution (the from-scratch side).
+func seriesSum(pfx uint64, s metrics.Series) uint64 {
+	var sum uint64
+	for day, v := range s {
+		sum += cellAtom(pfx, day, v)
+	}
+	return sum
+}
+
+// setSum is a whole string set's contribution (the from-scratch side).
+func setSum(pfx uint64, m map[string]bool) uint64 {
+	var sum uint64
+	for k := range m {
+		sum += fpStr(pfx, k)
+	}
+	return sum
+}
+
+// daySetSum is a whole string->day map's contribution.
+func daySetSum(pfx uint64, m map[string]simclock.Day) uint64 {
+	var sum uint64
+	for k, d := range m {
+		sum += fpU64(fpStr(pfx, k), uint64(d))
+	}
+	return sum
+}
+
+// seizureAtom hashes one observed seizure at its append index.
+func seizureAtom(i int, s ObservedSeizure) uint64 {
+	h := fpU64(pfxSeizure, uint64(i))
+	h = fpStr(h, s.Domain)
+	h = fpU64(h, uint64(s.Day))
+	h = fpStr(h, s.CaseID)
+	h = fpStr(h, s.FirmKey)
+	h = fpStr(h, s.StoreID)
+	if s.SeenInPSRs {
+		h = fpU64(h, 1)
+	}
+	return h
+}
+
+// reactionAtom hashes one recorded reaction at its append index.
+func reactionAtom(i int, r Reaction) uint64 {
+	h := fpU64(pfxReaction, uint64(i))
+	h = fpStr(h, r.StoreID)
+	h = fpU64(h, uint64(r.Day))
+	h = fpStr(h, r.NewDomain)
+	return h
+}
+
+// orderSeriesAtom is one sampled-order entry's whole contribution. Entries
+// are replaced wholesale when a resumed study re-finalizes, so the update
+// subtracts the old entry's atom and adds the new one.
+func orderSeriesAtom(id string, os *OrderSeries) uint64 {
+	pfx := fpStr(pfxOrders, id)
+	sum := fpStr(pfx, "present")
+	sum += seriesSum(fpStr(pfx, "rates"), os.Rates)
+	sum += seriesSum(fpStr(pfx, "volume"), os.Volume)
+	sum += fpU64(fpStr(pfx, "delta"), uint64(os.TotalDelta))
+	return sum
+}
+
+// metaAtom folds the run-shape constants, seeding the accumulator at
+// NewDataset.
+func (d *Dataset) metaAtom() uint64 {
+	h := fpStr(fnvOffset64, "meta")
+	h = fpU64(h, uint64(d.StudyDays))
+	h = fpU64(h, uint64(d.SimDays))
+	if d.FaultsEnabled {
+		h = fpU64(h, 1)
+	}
+	return h
+}
+
+// --- incremental update helpers --------------------------------------------
+//
+// Every dataset mutation goes through one of these, which perform the write
+// AND fold the digest delta into acc. The observe phase passes its private
+// per-vertical accumulator (dayObservation.fpDelta); sequential paths pass
+// &Dataset.fpIncr directly.
+
+// fpSeriesAdd is Series.Add plus the digest delta for the changed cell.
+func fpSeriesAdd(acc *uint64, pfx uint64, s metrics.Series, day int, v float64) {
+	if day < 0 || day >= len(s) {
+		return
+	}
+	old := s[day]
+	s[day] = old + v
+	*acc += cellAtom(pfx, day, old+v) - cellAtom(pfx, day, old)
+}
+
+// fpSetInsert inserts k into a grow-only set, folding the member atom on
+// first insertion.
+func fpSetInsert(acc *uint64, pfx uint64, m map[string]bool, k string) {
+	if m[k] {
+		return
+	}
+	m[k] = true
+	*acc += fpStr(pfx, k)
+}
+
+// fpDaySetPut writes m[k] = day, replacing any previous atom for k.
+func fpDaySetPut(acc *uint64, pfx uint64, m map[string]simclock.Day, k string, day simclock.Day) {
+	old, ok := m[k]
+	if ok && old == day {
+		return
+	}
+	if ok {
+		*acc -= fpU64(fpStr(pfx, k), uint64(old))
+	}
+	m[k] = day
+	*acc += fpU64(fpStr(pfx, k), uint64(day))
+}
+
+// --- readout and oracle -----------------------------------------------------
+
+// DayFingerprint returns the incremental digest of everything observed so
+// far. It is O(1) — the accumulator is maintained at commit time — and
+// valid at any day boundary, which is what lets long runs checkpoint and
+// stream per-day digests without re-walking the whole dataset. It is a
+// different function from Fingerprint (which stays the cross-run golden
+// oracle); its own oracle is RecomputeDayFingerprint.
+func (d *Dataset) DayFingerprint() uint64 { return d.fpIncr }
+
+// RecomputeDayFingerprint computes the day fingerprint from scratch by
+// walking the whole dataset over the same atom grammar the incremental
+// updates use. TestIncrementalFingerprintMatchesFull asserts it equals
+// DayFingerprint after every committed day; production code has no reason
+// to call it.
+func (d *Dataset) RecomputeDayFingerprint() uint64 {
+	sum := d.metaAtom()
+	for _, v := range brands.All() {
+		vo := d.Verticals[v]
+		sum += uint64(vo.PSRObservations) * atomCounter(v, "psr")
+		sum += uint64(vo.LabeledObservations) * atomCounter(v, "labeled")
+		sum += uint64(vo.LabelEligible) * atomCounter(v, "eligible")
+		sum += seriesSum(vertSeriesPfx(v, "top10pct"), vo.Top10PoisonedPct)
+		sum += seriesSum(vertSeriesPfx(v, "top100pct"), vo.Top100PoisonedPct)
+		sum += seriesSum(vertSeriesPfx(v, "penalizedpct"), vo.PenalizedPct)
+		for label, s := range vo.Attributed.Layers {
+			sum += seriesSum(attrLayerPfx(v, label), s)
+		}
+		sum += setSum(setPfx(v, "doorways"), vo.DoorwaysSeen)
+		sum += setSum(setPfx(v, "stores"), vo.StoresSeen)
+		sum += setSum(setPfx(v, "campaigns"), vo.CampaignsSeen)
+	}
+	for name, co := range d.Campaigns {
+		sum += seriesSum(campPfx(name, "top100"), co.PSRTop100)
+		sum += seriesSum(campPfx(name, "top10"), co.PSRTop10)
+		sum += seriesSum(campPfx(name, "labeled"), co.LabeledPSRs)
+		sum += setSum(campPfx(name, "doorways"), co.Doorways)
+		sum += setSum(campPfx(name, "stores"), co.StoresSeen)
+		for v, ok := range co.Verticals {
+			if ok {
+				sum += fpU64(campPfx(name, "verticals"), uint64(v))
+			}
+		}
+	}
+	sum += seriesSum(pfxChurnNew, d.ChurnNew)
+	sum += seriesSum(pfxChurnTotal, d.ChurnTotal)
+	for i, s := range d.Seizures {
+		sum += seizureAtom(i, s)
+	}
+	for i, r := range d.Reactions {
+		sum += reactionAtom(i, r)
+	}
+	sum += daySetSum(pfxStoreSeen, d.StoreFirstSeen)
+	sum += daySetSum(pfxDoorSeen, d.DoorFirstSeen)
+	sum += daySetSum(pfxDoorLabel, d.DoorLabeledOn)
+	for id, os := range d.SampledOrders {
+		sum += orderSeriesAtom(id, os)
+	}
+	for id, ws := range d.WatchedPSRs {
+		sum += seriesSum(watchedPfx(id, "top100"), ws.Top100)
+		sum += seriesSum(watchedPfx(id, "top10"), ws.Top10)
+	}
+	if d.FaultsEnabled {
+		sum += seriesSum(pfxCoverage, d.Coverage)
+		for day, ok := range d.ObservedDays {
+			if !ok {
+				sum += fpU64(pfxOutage, uint64(day))
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/simclock"
+)
+
+// runIncrChecked runs a faults-moderate study day by day, asserting after
+// every committed day — not just at the end — that the incremental
+// accumulator equals the from-scratch recompute over the same atom grammar.
+// Any mutation path that forgets to fold its atom, or folds it twice,
+// surfaces on the exact day it first diverges.
+func runIncrChecked(t *testing.T, workers int) (*Dataset, uint64) {
+	t.Helper()
+	cfg := smallConfig()
+	fcfg, err := faults.Profile("moderate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fcfg
+	cfg.ObserveWorkers = workers
+	cfg.CrawlWorkers = workers
+	w := NewWorld(cfg)
+	if got, want := w.Data.DayFingerprint(), w.Data.RecomputeDayFingerprint(); got != want {
+		t.Fatalf("pre-run: incremental %#x != recompute %#x", got, want)
+	}
+	for d := 0; d < w.Sim.Days(); d++ {
+		w.RunDay(simclock.Day(d))
+		if got, want := w.Data.DayFingerprint(), w.Data.RecomputeDayFingerprint(); got != want {
+			t.Fatalf("day %d (workers=%d): incremental %#x != recompute %#x",
+				d, workers, got, want)
+		}
+	}
+	w.Finalize()
+	if got, want := w.Data.DayFingerprint(), w.Data.RecomputeDayFingerprint(); got != want {
+		t.Fatalf("after finalize (workers=%d): incremental %#x != recompute %#x",
+			workers, got, want)
+	}
+	return w.Data, w.Data.DayFingerprint()
+}
+
+func TestIncrementalFingerprintMatchesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serialData, serial := runIncrChecked(t, 1)
+	runtime.GOMAXPROCS(prev)
+	parData, par := runIncrChecked(t, runtime.NumCPU())
+
+	// The day fingerprint must be as scheduling-independent as the full
+	// one: bit-identical between one worker at GOMAXPROCS=1 and a full
+	// fan-out, and the existing oracle must agree the datasets match.
+	if serial != par {
+		t.Errorf("day fingerprints differ: serial=%#x parallel=%#x", serial, par)
+	}
+	if sf, pf := serialData.Fingerprint(), parData.Fingerprint(); sf != pf {
+		t.Errorf("full fingerprints differ: serial=%#x parallel=%#x", sf, pf)
+	}
+}
+
+// TestDayFingerprintSensitive guards against the trivial failure mode of an
+// accumulator that never moves: a committed day must change the digest.
+func TestDayFingerprintSensitive(t *testing.T) {
+	cfg := smallConfig()
+	w := NewWorld(cfg)
+	before := w.Data.DayFingerprint()
+	w.RunDay(0)
+	if after := w.Data.DayFingerprint(); after == before {
+		t.Fatalf("day fingerprint unchanged by a committed day (%#x)", after)
+	}
+}
+
+// TestDayFingerprintSurvivesResume asserts the replace-aware finalize path:
+// cancelling, finalizing, resuming and re-finalizing must land on the same
+// digest as an uninterrupted run (Finalize overwrites DoorLabeledOn and
+// SampledOrders entries wholesale on the second pass).
+func TestDayFingerprintSurvivesResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig()
+
+	w := NewWorld(cfg)
+	half := w.Sim.Days() / 2
+	for d := 0; d < half; d++ {
+		w.RunDay(simclock.Day(d))
+	}
+	w.Finalize() // mid-run checkpoint, as a cancelled RunContext would
+	for d := half; d < w.Sim.Days(); d++ {
+		w.RunDay(simclock.Day(d))
+	}
+	w.Finalize()
+	if got, want := w.Data.DayFingerprint(), w.Data.RecomputeDayFingerprint(); got != want {
+		t.Fatalf("after resume: incremental %#x != recompute %#x", got, want)
+	}
+
+	uninterrupted := NewWorld(cfg).Run()
+	if got, want := w.Data.DayFingerprint(), uninterrupted.DayFingerprint(); got != want {
+		t.Errorf("resumed digest %#x != uninterrupted %#x", got, want)
+	}
+}

@@ -111,8 +111,8 @@ func (w *World) RunDay(d simclock.Day) {
 	if inStudy {
 		w.Sampler.Visit(d, w.purchaseTargets())
 		neu, tot := w.Engine.ChurnToday()
-		w.Data.ChurnNew.Add(int(d), float64(neu))
-		w.Data.ChurnTotal.Add(int(d), float64(tot))
+		fpSeriesAdd(&w.Data.fpIncr, pfxChurnNew, w.Data.ChurnNew, int(d), float64(neu))
+		fpSeriesAdd(&w.Data.fpIncr, pfxChurnTotal, w.Data.ChurnTotal, int(d), float64(tot))
 	}
 }
 
@@ -198,6 +198,12 @@ type dayObservation struct {
 	visible       map[string]bool // store IDs whose domain surfaced in PSRs
 	watched       map[string]*watchedAgg
 	campaigns     map[string]*campDayAgg
+
+	// fpDelta is this vertical's day-fingerprint contribution: atoms for
+	// every VerticalObs mutation the observe phase makes, summed privately
+	// and folded into Dataset.fpIncr by the commit phase. Atom addition
+	// commutes, so the fold is scheduling-independent by construction.
+	fpDelta uint64
 }
 
 // dayObs returns the per-vertical observation records, allocated once and
@@ -234,6 +240,7 @@ func (o *dayObservation) reset() {
 	clear(o.visible)
 	clear(o.watched)
 	clear(o.campaigns)
+	o.fpDelta = 0
 }
 
 // limited reports whether a term's SERP was rate-limited away this day.
@@ -244,9 +251,11 @@ func (o *dayObservation) limited(term int) bool {
 // observeVertical runs the day's crawl over one vertical's SERPs and
 // records the observations into o. It is the read-only half of the
 // pipeline: it may run concurrently with other verticals' observations and
-// must not mutate state shared across verticals. The crawler's verdict
-// cache, the classifier's attribution cache, and the HTML generator's memo
-// are the only shared structures it touches; all are thread-safe and yield
+// must not mutate state shared across verticals. Domain resolution goes
+// through the vertical's private snapshot (see snapshot.go) rather than the
+// global cross-vertical maps; the crawler's verdict cache, the classifier's
+// attribution cache, and the HTML generator's memo are the only shared
+// structures it touches, and all are sharded/thread-safe with
 // order-independent results for a fixed day.
 func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock.Day, inStudy bool) {
 	span := w.stObsVert.Start(int(d), v.String())
@@ -255,6 +264,7 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 	o.vertical = v
 	o.vo = w.Data.Verticals[v]
 	vo := o.vo
+	snap := w.vertSnaps[v]
 
 	// Pre-compute the day's rate-limited terms (faults only): losing a term
 	// means its SERP never arrives, so its slots contribute no fetches and
@@ -317,9 +327,9 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 			if _, seen := w.Data.StoreFirstSeen[ver.StoreDomain]; !seen {
 				o.storeNew[ver.StoreDomain] = true
 			}
-			if st, ok := w.storeByDom[ver.StoreDomain]; ok {
+			if st, ok := snap.storeByDomain(ver.StoreDomain); ok {
 				o.visible[st.ID()] = true
-				if _, isWatched := w.Data.WatchedPSRs[st.ID()]; isWatched {
+				if _, isWatched := snap.watched[st.ID()]; isWatched {
 					wa := o.watched[st.ID()]
 					if wa == nil {
 						wa = &watchedAgg{}
@@ -342,7 +352,7 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 		// Penalised = labeled in results, or pointing at a seized store.
 		pen := s.Labeled
 		if !pen {
-			if st, ok := w.doorTargets[doorID(w, s.Domain)]; ok && st != nil {
+			if st := snap.doorTarget(s.Domain); st != nil {
 				if _, gone := st.SeizedOn(st.CurrentDomain(d)); gone {
 					pen = true
 				}
@@ -354,18 +364,21 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 
 		if inStudy {
 			vo.PSRObservations++
-			vo.DoorwaysSeen[s.Domain] = true
+			o.fpDelta += snap.hPSR
+			fpSetInsert(&o.fpDelta, snap.pfxDoorsSeen, vo.DoorwaysSeen, s.Domain)
 			if s.Labeled {
 				vo.LabeledObservations++
+				o.fpDelta += snap.hLabeledObs
 			}
 			if _, hasLabel := w.Engine.LabeledOn(s.Domain); hasLabel {
 				vo.LabelEligible++
+				o.fpDelta += snap.hLabelEligible
 			}
 			if ver.IsStore && ver.StoreDomain != "" {
-				vo.StoresSeen[ver.StoreDomain] = true
+				fpSetInsert(&o.fpDelta, snap.pfxStoresSeen, vo.StoresSeen, ver.StoreDomain)
 			}
 			if name != Unknown {
-				vo.CampaignsSeen[name] = true
+				fpSetInsert(&o.fpDelta, snap.pfxCampsSeen, vo.CampaignsSeen, name)
 				ca := o.campaigns[name]
 				if ca == nil {
 					ca = &campDayAgg{
@@ -393,14 +406,18 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 		return
 	}
 	day := int(d)
-	vo.Top100PoisonedPct.Add(day, 100*float64(o.top100Poisoned)/float64(o.slots))
+	fpSeriesAdd(&o.fpDelta, snap.pfxTop100Pct, vo.Top100PoisonedPct, day,
+		100*float64(o.top100Poisoned)/float64(o.slots))
 	if o.top10Slots > 0 {
-		vo.Top10PoisonedPct.Add(day, 100*float64(o.top10Poisoned)/float64(o.top10Slots))
+		fpSeriesAdd(&o.fpDelta, snap.pfxTop10Pct, vo.Top10PoisonedPct, day,
+			100*float64(o.top10Poisoned)/float64(o.top10Slots))
 	}
-	vo.PenalizedPct.Add(day, 100*float64(o.penalized)/float64(o.slots))
+	fpSeriesAdd(&o.fpDelta, snap.pfxPenalizedPct, vo.PenalizedPct, day,
+		100*float64(o.penalized)/float64(o.slots))
 	// Sorted layer order keeps Stacked label insertion deterministic.
 	for _, name := range sortedKeys(o.attributed) {
-		vo.Attributed.Layer(name).Add(day, 100*float64(o.attributed[name])/float64(o.slots))
+		fpSeriesAdd(&o.fpDelta, attrLayerPfx(v, name), vo.Attributed.Layer(name), day,
+			100*float64(o.attributed[name])/float64(o.slots))
 	}
 }
 
@@ -409,17 +426,20 @@ func (w *World) observeVertical(o *dayObservation, v brands.Vertical, d simclock
 // for every vertical in fixed vertical order, which makes the merged state
 // independent of how the observe phase was scheduled.
 func (w *World) commitObservation(o *dayObservation, d simclock.Day, inStudy bool) {
+	acc := &w.Data.fpIncr
+	*acc += o.fpDelta
+	o.fpDelta = 0
 	for _, ev := range o.labelerEvents {
 		w.Labeler.Observe(ev.domain, d, ev.root)
 	}
 	for dom := range o.doorNew {
 		if _, seen := w.Data.DoorFirstSeen[dom]; !seen {
-			w.Data.DoorFirstSeen[dom] = d
+			fpDaySetPut(acc, pfxDoorSeen, w.Data.DoorFirstSeen, dom, d)
 		}
 	}
 	for dom := range o.storeNew {
 		if _, seen := w.Data.StoreFirstSeen[dom]; !seen {
-			w.Data.StoreFirstSeen[dom] = d
+			fpDaySetPut(acc, pfxStoreSeen, w.Data.StoreFirstSeen, dom, d)
 		}
 	}
 	for id := range o.visible {
@@ -428,8 +448,8 @@ func (w *World) commitObservation(o *dayObservation, d simclock.Day, inStudy boo
 	day := int(d)
 	for id, wa := range o.watched {
 		ws := w.Data.WatchedPSRs[id]
-		ws.Top100.Add(day, float64(wa.top100))
-		ws.Top10.Add(day, float64(wa.top10))
+		fpSeriesAdd(acc, watchedPfx(id, "top100"), ws.Top100, day, float64(wa.top100))
+		fpSeriesAdd(acc, watchedPfx(id, "top10"), ws.Top10, day, float64(wa.top10))
 	}
 	if !inStudy {
 		return
@@ -437,16 +457,19 @@ func (w *World) commitObservation(o *dayObservation, d simclock.Day, inStudy boo
 	for _, name := range sortedCampKeys(o.campaigns) {
 		ca := o.campaigns[name]
 		co := w.Data.campaignObs(name)
-		co.PSRTop100.Add(day, float64(ca.top100))
-		co.PSRTop10.Add(day, float64(ca.top10))
-		co.LabeledPSRs.Add(day, float64(ca.labeled))
+		fpSeriesAdd(acc, campPfx(name, "top100"), co.PSRTop100, day, float64(ca.top100))
+		fpSeriesAdd(acc, campPfx(name, "top10"), co.PSRTop10, day, float64(ca.top10))
+		fpSeriesAdd(acc, campPfx(name, "labeled"), co.LabeledPSRs, day, float64(ca.labeled))
 		for dom := range ca.doorways {
-			co.Doorways[dom] = true
+			fpSetInsert(acc, campPfx(name, "doorways"), co.Doorways, dom)
 		}
 		for dom := range ca.stores {
-			co.StoresSeen[dom] = true
+			fpSetInsert(acc, campPfx(name, "stores"), co.StoresSeen, dom)
 		}
-		co.Verticals[o.vertical] = true
+		if !co.Verticals[o.vertical] {
+			co.Verticals[o.vertical] = true
+			*acc += fpU64(campPfx(name, "verticals"), uint64(o.vertical))
+		}
 	}
 }
 
@@ -466,14 +489,6 @@ func sortedCampKeys(m map[string]*campDayAgg) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// doorID maps a doorway domain back to its deployment id.
-func doorID(w *World, domain string) string {
-	if dw, ok := w.doorByDom[domain]; ok {
-		return dw.ID
-	}
-	return ""
 }
 
 // storeAgg is one store's accumulated demand for a day.
@@ -546,10 +561,11 @@ func (w *World) applyTraffic(d simclock.Day) {
 }
 
 // shardTraffic accumulates one vertical's demand into its shard. Read-only
-// with respect to world state; store lookups go through immutable maps and
-// mutex-guarded store accessors.
+// with respect to world state; doorway-to-store resolution goes through the
+// vertical's snapshot, store access through mutex-guarded accessors.
 func (w *World) shardTraffic(sh *trafficShard, v brands.Vertical, d simclock.Day) {
 	clear(sh.perStore)
+	snap := w.vertSnaps[v]
 	volume := v.DailyQueryVolume() * w.Cfg.Scale
 	nTerms := w.Cfg.TermsPerVertical
 	w.Engine.EachSlot(v, func(termIdx, rank int, s *searchsim.Slot) {
@@ -561,8 +577,8 @@ func (w *World) shardTraffic(sh *trafficShard, v brands.Vertical, d simclock.Day
 		if clicks <= 0 {
 			return
 		}
-		st, ok := w.doorTargets[s.Doorway.ID]
-		if !ok || st == nil {
+		st := snap.doorTargetByID(s.Doorway.ID)
+		if st == nil {
 			return
 		}
 		dom := st.CurrentDomain(d)
@@ -632,19 +648,27 @@ func (w *World) buildPurchaseTargets() {
 }
 
 // Finalize copies end-of-run state into the dataset: label days and
-// purchase-pair estimates.
+// purchase-pair estimates. A cancelled-then-resumed study finalizes more
+// than once, so both copies are replace-aware: the day fingerprint drops a
+// superseded entry's atoms before folding the new ones.
 func (w *World) Finalize() {
+	acc := &w.Data.fpIncr
 	for dom := range w.doorByDom {
 		if ld, ok := w.Engine.LabeledOn(dom); ok {
-			w.Data.DoorLabeledOn[dom] = ld
+			fpDaySetPut(acc, pfxDoorLabel, w.Data.DoorLabeledOn, dom, ld)
 		}
 	}
 	for id, series := range w.Sampler.AllSeries() {
-		w.Data.SampledOrders[id] = &OrderSeries{
+		os := &OrderSeries{
 			StoreID:    id,
 			Rates:      series.Rates(w.Sim.Days()),
 			Volume:     series.Volume(w.Sim.Days()),
 			TotalDelta: series.TotalDelta(),
 		}
+		if old, ok := w.Data.SampledOrders[id]; ok {
+			*acc -= orderSeriesAtom(id, old)
+		}
+		w.Data.SampledOrders[id] = os
+		*acc += orderSeriesAtom(id, os)
 	}
 }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/brands"
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
+
+// vertSnapshot is one vertical's read-only view of the world's wiring, built
+// once the wiring is final. The observe phase runs one goroutine per
+// vertical, and before this snapshot existed every worker resolved doorway
+// and store domains through the world's global maps — a doorway lookup was
+// even a double hop (doorByDom, then doorTargets). The snapshot collapses
+// both paths into small per-vertical maps holding only the domains this
+// vertical's SERPs can surface, so parallel workers walk private,
+// cache-resident tables instead of hashing into the full cross-vertical
+// namespace.
+//
+// Snapshots are views, not copies of truth: every entry is derived from the
+// global maps, and the lookup helpers fall back to those maps on a miss, so
+// a snapshot can never answer differently from the state it mirrors. Domain
+// membership is static — stores pre-register their backup domains at
+// construction and rotation moves among them, doorway domains never change —
+// which is why a single snapshot point after NewWorld's wiring suffices; the
+// world rebuilds all snapshots via snapshotVerticals if that ever changes.
+//
+// The snapshot also pre-computes this vertical's incremental-fingerprint
+// atoms (see fingerprint_incr.go) so the per-slot digest updates in the
+// observe hot loop are single table-free adds.
+type vertSnapshot struct {
+	w *World
+	v brands.Vertical
+
+	// doorStores maps a doorway domain to its assigned store; doorIDStores
+	// is the same relation keyed by doorway ID (the traffic path has the ID
+	// in hand, the observe path only the domain). Doorways with no assigned
+	// store are absent.
+	doorStores   map[string]*store.Store
+	doorIDStores map[string]*store.Store
+	// stores maps every domain (launch + backups) of a store reachable from
+	// this vertical's doorways to the store.
+	stores map[string]*store.Store
+	// watched holds all watched case-study store IDs (the set is tiny and
+	// global, so every vertical carries the full copy).
+	watched map[string]bool
+
+	// Incremental-digest constants for this vertical: whole atoms for the
+	// unit counters, prefix states for sets and series (see
+	// fingerprint_incr.go for the atom grammar).
+	hPSR, hLabeledObs, hLabelEligible          uint64
+	pfxDoorsSeen, pfxStoresSeen, pfxCampsSeen  uint64
+	pfxTop10Pct, pfxTop100Pct, pfxPenalizedPct uint64
+}
+
+// snapshotVerticals (re)builds the per-vertical observe snapshots from the
+// world's global wiring. It must run after doorway targets and the dataset's
+// watched-store set are final; NewWorld calls it as its last wiring step.
+func (w *World) snapshotVerticals() {
+	w.vertSnaps = make(map[brands.Vertical]*vertSnapshot, len(brands.All()))
+	watched := make(map[string]bool, len(w.Data.WatchedPSRs))
+	for id := range w.Data.WatchedPSRs {
+		watched[id] = true
+	}
+	for _, v := range brands.All() {
+		w.vertSnaps[v] = &vertSnapshot{
+			w:               w,
+			v:               v,
+			doorStores:      make(map[string]*store.Store),
+			doorIDStores:    make(map[string]*store.Store),
+			stores:          make(map[string]*store.Store),
+			watched:         watched,
+			hPSR:            atomCounter(v, "psr"),
+			hLabeledObs:     atomCounter(v, "labeled"),
+			hLabelEligible:  atomCounter(v, "eligible"),
+			pfxDoorsSeen:    setPfx(v, "doorways"),
+			pfxStoresSeen:   setPfx(v, "stores"),
+			pfxCampsSeen:    setPfx(v, "campaigns"),
+			pfxTop10Pct:     vertSeriesPfx(v, "top10pct"),
+			pfxTop100Pct:    vertSeriesPfx(v, "top100pct"),
+			pfxPenalizedPct: vertSeriesPfx(v, "penalizedpct"),
+		}
+	}
+	for _, dep := range w.Deps {
+		for _, dw := range dep.Doorways {
+			st := w.doorTargets[dw.ID]
+			if st == nil {
+				continue
+			}
+			snap := w.vertSnaps[dw.Vertical]
+			snap.doorStores[dw.Domain] = st
+			snap.doorIDStores[dw.ID] = st
+			for _, dom := range st.Dep.Domains {
+				snap.stores[dom] = st
+			}
+		}
+	}
+}
+
+// doorTarget resolves a doorway domain to its assigned store, or nil. The
+// fast path is this vertical's private table; a miss falls back to the
+// global double hop so the answer is always exactly the global maps'.
+func (s *vertSnapshot) doorTarget(domain string) *store.Store {
+	if st, ok := s.doorStores[domain]; ok {
+		return st
+	}
+	var dw *campaign.Doorway
+	if dw = s.w.doorByDom[domain]; dw == nil {
+		return nil
+	}
+	return s.w.doorTargets[dw.ID]
+}
+
+// doorTargetByID is doorTarget keyed by doorway ID (the traffic path).
+func (s *vertSnapshot) doorTargetByID(id string) *store.Store {
+	if st, ok := s.doorIDStores[id]; ok {
+		return st
+	}
+	return s.w.doorTargets[id]
+}
+
+// storeByDomain resolves any of a store's domains to the store, falling back
+// to the world's global domain map on a snapshot miss.
+func (s *vertSnapshot) storeByDomain(domain string) (*store.Store, bool) {
+	if st, ok := s.stores[domain]; ok {
+		return st, true
+	}
+	st, ok := s.w.storeByDom[domain]
+	return st, ok
+}

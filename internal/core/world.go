@@ -74,6 +74,12 @@ type World struct {
 	doorTargets map[string]*store.Store   // doorway ID -> assigned store
 	doorByDom   map[string]*campaign.Doorway
 
+	// vertSnaps are the per-vertical read-only views of the wiring above,
+	// built once by snapshotVerticals after NewWorld finishes wiring; the
+	// parallel observe and traffic phases resolve domains through them
+	// instead of the global cross-vertical maps (see snapshot.go).
+	vertSnaps map[brands.Vertical]*vertSnapshot
+
 	// attribution caches Attribute's per-domain verdicts. Guarded by attrMu:
 	// the parallel observe phase classifies store domains from several
 	// vertical goroutines at once. Verdicts are deterministic per (domain,
@@ -299,6 +305,7 @@ func NewWorld(cfg Config) *World {
 
 	w.Data = NewDataset(w)
 	w.watchCaseStudyStores()
+	w.snapshotVerticals()
 	return w
 }
 

@@ -3,11 +3,29 @@ package crawler
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
+	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
+
+// crawlShards is the number of verdict-cache shards. Domain checks are the
+// observe phase's dominant shared-state traffic; sharding the cache and its
+// singleflight table by domain removes the single global mutex every worker
+// used to queue on.
+const crawlShards = 64 // power of two
+
+// crawlShard is one shard of the crawler's per-domain state: the verdict
+// cache and the in-flight detector runs for the domains hashing here. All
+// per-domain transitions (consult, adopt in-flight, publish) happen under
+// one shard's lock, preserving the exact single-mutex semantics per domain.
+type crawlShard struct {
+	mu       sync.Mutex
+	cache    map[string]Verdict
+	inflight map[string]*inflightCall
+}
 
 // Crawler wraps a Detector with the §4.1.2 workload reductions: domains
 // previously seen and not detected as poisoned are not re-crawled, and
@@ -25,19 +43,19 @@ type Crawler struct {
 	// to the number of jobs, and <= 0 selects GOMAXPROCS.
 	Workers int
 
-	mu    sync.Mutex
-	cache map[string]Verdict
-	// inflight tracks domains a detector run is currently checking; the
-	// call's done channel closes once its verdict is published.
-	inflight map[string]*inflightCall
+	shards [crawlShards]crawlShard
 	// fetches counts detector invocations (for workload accounting).
-	fetches int
+	fetches atomic.Int64
 
 	// Telemetry handles (nil until Instrument; nil handles are no-ops).
 	cDetector *telemetry.Counter
 	cCacheHit *telemetry.Counter
 	cShared   *telemetry.Counter
 	poolObs   parallel.PoolObserver
+}
+
+func (c *Crawler) shard(domain string) *crawlShard {
+	return &c.shards[shard.Hash(domain)&(crawlShards-1)]
 }
 
 // Instrument registers the crawler's runtime metrics on reg (nil reg is a
@@ -64,9 +82,7 @@ type inflightCall struct {
 
 // New returns a Crawler over the given detector.
 func New(det *Detector) *Crawler {
-	return &Crawler{Det: det, RecheckDays: 4, Workers: 8,
-		cache:    make(map[string]Verdict),
-		inflight: make(map[string]*inflightCall)}
+	return &Crawler{Det: det, RecheckDays: 4, Workers: 8}
 }
 
 // CheckDomain returns the verdict for a domain, fetching only when the
@@ -83,39 +99,40 @@ func New(det *Detector) *Crawler {
 // caller for a (domain, day) pair returns the identical verdict, which the
 // deterministic day pipeline depends on.
 func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdict {
-	c.mu.Lock()
-	v, seen := c.cache[domain]
+	sh := c.shard(domain)
+	sh.mu.Lock()
+	v, seen := sh.cache[domain]
 	if seen && (!v.Cloaked || int(day-v.CheckedDay) < c.RecheckDays) {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.cCacheHit.Inc()
 		return v
 	}
-	if call, busy := c.inflight[domain]; busy {
+	if call, busy := sh.inflight[domain]; busy {
 		// Another goroutine is already running the detector for this
 		// domain. The cache entry cannot change until that run publishes
-		// (only the runner writes it, under the same lock that removes the
-		// inflight entry), so the (v, seen) snapshot taken above is exactly
-		// the snapshot the runner started from — applying the same merge
-		// rule to the runner's verdict yields the same result the runner
-		// returns, with no re-consult loop.
-		c.mu.Unlock()
+		// (only the runner writes it, under the same shard lock that
+		// removes the inflight entry), so the (v, seen) snapshot taken
+		// above is exactly the snapshot the runner started from — applying
+		// the same merge rule to the runner's verdict yields the same
+		// result the runner returns, with no re-consult loop.
+		sh.mu.Unlock()
 		c.cShared.Inc()
 		<-call.done
 		return mergeVerdict(v, seen, call.v, day)
 	}
 	call := &inflightCall{done: make(chan struct{})}
-	if c.inflight == nil {
-		c.inflight = make(map[string]*inflightCall)
+	if sh.inflight == nil {
+		sh.inflight = make(map[string]*inflightCall)
 	}
-	c.inflight[domain] = call
-	c.mu.Unlock()
+	sh.inflight[domain] = call
+	sh.mu.Unlock()
 
 	nv := c.Det.CheckURL(sampleURL, day)
 	c.cDetector.Inc()
 
-	c.mu.Lock()
-	c.fetches++
-	delete(c.inflight, domain)
+	sh.mu.Lock()
+	c.fetches.Add(1)
+	delete(sh.inflight, domain)
 	call.v = nv
 	close(call.done)
 	out := mergeVerdict(v, seen, nv, day)
@@ -124,9 +141,12 @@ func (c *Crawler) CheckDomain(domain, sampleURL string, day simclock.Day) Verdic
 	// cloaked verdict that absorbed a failed recheck is still cached — the
 	// merge kept the stronger verdict.)
 	if !(out.Unknown && !out.Cloaked) {
-		c.cache[domain] = out
+		if sh.cache == nil {
+			sh.cache = make(map[string]Verdict)
+		}
+		sh.cache[domain] = out
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return out
 }
 
@@ -168,23 +188,23 @@ func (c *Crawler) CheckDomains(urls map[string]string, day simclock.Day) map[str
 
 // Fetches reports how many detector invocations the cache allowed through.
 func (c *Crawler) Fetches() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fetches
+	return int(c.fetches.Load())
 }
 
 // Cached returns the cached verdict for a domain, if any.
 func (c *Crawler) Cached(domain string) (Verdict, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.cache[domain]
+	sh := c.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.cache[domain]
 	return v, ok
 }
 
 // Invalidate drops a domain from the cache (used when the world knows the
 // domain changed hands, e.g. after a seizure is served).
 func (c *Crawler) Invalidate(domain string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.cache, domain)
+	sh := c.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.cache, domain)
 }

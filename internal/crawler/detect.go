@@ -12,10 +12,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/htmlparse"
 	"repro/internal/jsmini"
+	"repro/internal/shard"
 	"repro/internal/simclock"
 	"repro/internal/simweb"
 )
@@ -172,41 +173,89 @@ var storeCookieMarkers = []string{
 // LooksLikeStore applies the §4.1.3 storefront heuristics to a landing
 // page: detection-relevant cookies, or "cart"/"checkout" substrings in the
 // body.
+//
+// Matching is ASCII case folding, not strings.ToLower: the old full-body
+// ToLower copy was one allocation per landing inspection for a needle set
+// that is pure ASCII. The two differ only on exotic case mappings (Kelvin
+// sign U+212A folding to 'k'), which no simulated document contains.
 func LooksLikeStore(body string, cookies []string) bool {
 	for _, c := range cookies {
 		name, _, _ := strings.Cut(c, "=")
 		name = strings.TrimSpace(name)
 		for _, marker := range storeCookieMarkers {
-			if strings.HasPrefix(strings.ToLower(name), strings.ToLower(marker)) {
+			if hasPrefixFoldASCII(name, marker) {
 				return true
 			}
 		}
 	}
-	low := strings.ToLower(body)
-	return strings.Contains(low, "cart") || strings.Contains(low, "checkout")
+	return containsFoldASCII(body, "cart") || containsFoldASCII(body, "checkout")
+}
+
+func lowerASCII(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	return c
+}
+
+// hasPrefixFoldASCII reports whether s starts with prefix under ASCII case
+// folding. prefix may be mixed case (cookie markers include CNZZDATA).
+func hasPrefixFoldASCII(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if lowerASCII(s[i]) != lowerASCII(prefix[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// containsFoldASCII reports whether s contains lower under ASCII case
+// folding; lower must already be lowercase ASCII. UTF-8 continuation bytes
+// are all >= 0x80, so byte-wise scanning never matches inside a multi-byte
+// rune.
+func containsFoldASCII(s, lower string) bool {
+	if len(lower) == 0 {
+		return true
+	}
+	first := lower[0]
+	for i := 0; i+len(lower) <= len(s); i++ {
+		if lowerASCII(s[i]) != first {
+			continue
+		}
+		j := 1
+		for ; j < len(lower); j++ {
+			if lowerASCII(s[i+j]) != lower[j] {
+				break
+			}
+		}
+		if j == len(lower) {
+			return true
+		}
+	}
+	return false
 }
 
 // Detector runs Dagger and VanGogh against a Fetcher. Term sets and render
-// results are memoised per document: the crawler re-fetches stable pages
-// daily and must not re-tokenise or re-execute them each time.
+// results are memoised per document in sharded maps — the crawler
+// re-fetches stable pages daily from many observe workers at once and must
+// neither re-tokenise them nor serialise on one memo mutex.
 type Detector struct {
 	F    simweb.Fetcher
 	Opts Options
 
-	mu        sync.Mutex
-	termSets  map[string]map[string]struct{}
-	renders   map[string]RenderResult
-	cacheHits int
+	termSets  shard.Map[map[string]struct{}]
+	renders   shard.Map[RenderResult]
+	termCount atomic.Int64
+	rendCount atomic.Int64
+	cacheHits atomic.Int64
 }
 
 // NewDetector returns a detector with the study's defaults.
 func NewDetector(f simweb.Fetcher) *Detector {
-	return &Detector{
-		F:        f,
-		Opts:     DefaultOptions(),
-		termSets: make(map[string]map[string]struct{}),
-		renders:  make(map[string]RenderResult),
-	}
+	return &Detector{F: f, Opts: DefaultOptions()}
 }
 
 // cacheLimit bounds both memo tables; beyond it the tables reset (simple
@@ -214,46 +263,40 @@ func NewDetector(f simweb.Fetcher) *Detector {
 const cacheLimit = 200000
 
 func (d *Detector) termSet(body string) map[string]struct{} {
-	d.mu.Lock()
-	if d.termSets == nil {
-		d.termSets = make(map[string]map[string]struct{})
-	}
-	if ts, ok := d.termSets[body]; ok {
-		d.cacheHits++
-		d.mu.Unlock()
+	if ts, ok := d.termSets.Get(body); ok {
+		d.cacheHits.Add(1)
 		return ts
 	}
-	d.mu.Unlock()
 	ts := htmlparse.TermSet(body)
-	d.mu.Lock()
-	if len(d.termSets) > cacheLimit {
-		d.termSets = make(map[string]map[string]struct{})
+	if d.termCount.Load() > cacheLimit {
+		d.termSets.Clear()
+		d.termCount.Store(0)
 	}
-	d.termSets[body] = ts
-	d.mu.Unlock()
-	return ts
+	// Racing misses for the same body keep the first computed set; TermSet
+	// is a pure function of body, so either copy is identical.
+	actual, loaded := d.termSets.LoadOrStore(body, ts)
+	if !loaded {
+		d.termCount.Add(1)
+	}
+	return actual
 }
 
 func (d *Detector) render(body, pageURL, referrer string) RenderResult {
 	key := pageURL + "\x00" + referrer + "\x00" + body
-	d.mu.Lock()
-	if d.renders == nil {
-		d.renders = make(map[string]RenderResult)
-	}
-	if rr, ok := d.renders[key]; ok {
-		d.cacheHits++
-		d.mu.Unlock()
+	if rr, ok := d.renders.Get(key); ok {
+		d.cacheHits.Add(1)
 		return rr
 	}
-	d.mu.Unlock()
 	rr := Render(body, pageURL, referrer)
-	d.mu.Lock()
-	if len(d.renders) > cacheLimit {
-		d.renders = make(map[string]RenderResult)
+	if d.rendCount.Load() > cacheLimit {
+		d.renders.Clear()
+		d.rendCount.Store(0)
 	}
-	d.renders[key] = rr
-	d.mu.Unlock()
-	return rr
+	actual, loaded := d.renders.LoadOrStore(key, rr)
+	if !loaded {
+		d.rendCount.Add(1)
+	}
+	return actual
 }
 
 // CheckURL runs the full §4.1 pipeline on one search-result URL: Dagger's

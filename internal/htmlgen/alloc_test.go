@@ -1,0 +1,33 @@
+package htmlgen
+
+import (
+	"testing"
+)
+
+// TestSteadyStatePageGenerationAllocFree is the alloc gate for the observe
+// phase's page-generation hot path: once a document has been memoised,
+// re-serving it — key assembly, sharded lookup, scratch recycling — must not
+// allocate at all.
+func TestSteadyStatePageGenerationAllocFree(t *testing.T) {
+	g, deps := testWorld(t)
+	st := deps[0].Stores[0]
+	dw := deps[0].Doorways[0]
+	terms := []string{"cheap beats by dre", "beats by dre outlet", "discount beats"}
+
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"StorePage", func() { g.StorePage(st, st.Domains[0]) }},
+		{"DoorwayCrawlerPage", func() { g.DoorwayCrawlerPage(dw, terms) }},
+		{"CompromisedOriginalPage", func() { g.CompromisedOriginalPage(dw.Domain) }},
+		{"BenignResultPage", func() { g.BenignResultPage("reviews.example.org", terms[0]) }},
+		{"PlatformFor", func() { g.PlatformFor(st) }},
+	}
+	for _, tc := range cases {
+		tc.call() // warm the memo
+		if allocs := testing.AllocsPerRun(500, tc.call); allocs != 0 {
+			t.Errorf("%s steady state allocates %v/op, want 0", tc.name, allocs)
+		}
+	}
+}

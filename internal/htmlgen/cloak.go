@@ -109,16 +109,32 @@ document.write('<iframe src="' + u + '" width="100%%" height="100%%" frameborder
 // browsers under iframe cloaking: the same keyword content the crawler gets
 // (or the original site content), plus the iframe payload in a script tag.
 func (g *Generator) CloakedDoorwayUserPage(base, id, target string) string {
-	return g.memo("cloak/"+id+"/"+target, func() string {
-		return injectScript(base, g.IframeScript(id, target))
-	})
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "cloak/"...)
+	s.key = append(s.key, id...)
+	s.key = append(s.key, '/')
+	s.key = append(s.key, target...)
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = append(s.buf[:0], injectScript(base, g.IframeScript(id, target))...)
+	return g.internPage(s)
 }
 
 // InjectRedirect splices a redirect-cloaking script into a page.
 func (g *Generator) InjectRedirect(base, id, target string) string {
-	return g.memo("inj/"+id+"/"+target, func() string {
-		return injectScript(base, g.RedirectScript(id, target))
-	})
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "inj/"...)
+	s.key = append(s.key, id...)
+	s.key = append(s.key, '/')
+	s.key = append(s.key, target...)
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = append(s.buf[:0], injectScript(base, g.RedirectScript(id, target))...)
+	return g.internPage(s)
 }
 
 // injectScript inserts a script element before </body> (or appends).

@@ -7,15 +7,24 @@
 //
 // Generation is deterministic per (campaign, store/doorway, domain): the
 // crawler may fetch the same URL many times and must see a stable document.
+//
+// The package is a hot path of the observe phase — every crawler fetch ends
+// here — so it is built around reuse: documents are memoised in a sharded
+// map whose lookup takes a []byte key, and both the key and the document
+// under construction live in a pooled per-worker scratch object. The steady
+// state (memo hit) performs zero allocations; a miss allocates only the
+// interned key and document.
 package htmlgen
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/campaign"
+	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/shard"
 )
 
 // Generator produces documents for one simulated world. Documents are
@@ -23,22 +32,53 @@ import (
 // fetches the same URLs daily and must not pay generation cost each time.
 type Generator struct {
 	root  *rng.Source
-	cache sync.Map // cache key -> string
+	cache shard.Map[string]   // memo key -> document
+	plats shard.Map[Platform] // store deployment ID -> platform
+
+	scratch *parallel.Scratch[genScratch]
+	// pageHint tracks the largest document built so far; fresh scratch
+	// objects size their buffers from it so they start at steady-state
+	// capacity instead of growing through reallocation.
+	pageHint atomic.Int64
+}
+
+// genScratch is the per-worker scratch state: the memo key and the document
+// under construction share reused buffers across calls.
+type genScratch struct {
+	key []byte
+	buf []byte
 }
 
 // New returns a Generator deriving all randomness from r.
 func New(r *rng.Source) *Generator {
-	return &Generator{root: r.Sub("htmlgen")}
+	g := &Generator{root: r.Sub("htmlgen")}
+	g.pageHint.Store(4 << 10)
+	g.scratch = parallel.NewScratch(func() *genScratch {
+		return &genScratch{
+			key: make([]byte, 0, 160),
+			buf: make([]byte, 0, g.pageHint.Load()),
+		}
+	})
+	return g
 }
 
-// memo returns the cached document for key, generating it once.
-func (g *Generator) memo(key string, build func() string) string {
-	if v, ok := g.cache.Load(key); ok {
-		return v.(string)
+// internPage stores the document built in s under the key built in s,
+// returning the interned copy (first writer wins, and builds are
+// deterministic per key, so racing copies are byte-identical).
+func (g *Generator) internPage(s *genScratch) string {
+	page, _ := g.cache.LoadOrStore(string(s.key), string(s.buf))
+	g.notePage(len(s.buf))
+	g.scratch.Put(s)
+	return page
+}
+
+func (g *Generator) notePage(n int) {
+	for {
+		cur := g.pageHint.Load()
+		if int64(n) <= cur || g.pageHint.CompareAndSwap(cur, int64(n)) {
+			return
+		}
 	}
-	s := build()
-	actual, _ := g.cache.LoadOrStore(key, s)
-	return actual.(string)
 }
 
 // rngFor yields the stable substream for one document identity.
@@ -76,21 +116,39 @@ var platforms = []Platform{
 
 // PlatformFor returns the e-commerce platform a store's pages are built on.
 // It is derived from the same substream as StorePage, so markup and cookies
-// always agree.
+// always agree. The result is memoised per deployment: store sites consult
+// it on every fetch to emit session cookies.
 func (g *Generator) PlatformFor(sd *campaign.StoreDeployment) Platform {
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "plat/"...)
+	s.key = append(s.key, sd.ID...)
+	if p, ok := g.plats.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return p
+	}
 	r := g.rngFor("store", sd.ID)
-	return platforms[r.Intn(len(platforms))]
+	p := platforms[r.Intn(len(platforms))]
+	g.plats.Set(string(s.key), p)
+	g.scratch.Put(s)
+	return p
 }
 
 var processors = []string{"realypay", "mallpayment", "globalbill"}
 
-// sentence builds a deterministic pseudo-sentence of n filler words.
-func sentence(r *rng.Source, n int) string {
-	parts := make([]string, n)
-	for i := range parts {
-		parts[i] = rng.Pick(r, fillerWords)
+// appendSentence appends a deterministic pseudo-sentence of n filler words,
+// consuming one draw per word exactly like its strings.Join predecessor.
+func appendSentence(dst []byte, r *rng.Source, n int) []byte {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, rng.Pick(r, fillerWords)...)
 	}
-	return strings.Join(parts, " ")
+	return dst
+}
+
+func appendInt(dst []byte, n int) []byte {
+	return strconv.AppendInt(dst, int64(n), 10)
 }
 
 // StorePage renders a counterfeit storefront's landing page as served on
@@ -103,12 +161,22 @@ func sentence(r *rng.Source, n int) string {
 //     comment markers, chat widget, meta markers),
 //   - per-store noise (product mix, filler copy).
 func (g *Generator) StorePage(sd *campaign.StoreDeployment, domain string) string {
-	return g.memo("store/"+sd.ID+"/"+domain+"/"+sd.Campaign.Signature.TemplatePrefix, func() string {
-		return g.storePage(sd, domain)
-	})
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "store/"...)
+	s.key = append(s.key, sd.ID...)
+	s.key = append(s.key, '/')
+	s.key = append(s.key, domain...)
+	s.key = append(s.key, '/')
+	s.key = append(s.key, sd.Campaign.Signature.TemplatePrefix...)
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = g.appendStorePage(s.buf[:0], sd, domain)
+	return g.internPage(s)
 }
 
-func (g *Generator) storePage(sd *campaign.StoreDeployment, domain string) string {
+func (g *Generator) appendStorePage(b []byte, sd *campaign.StoreDeployment, domain string) []byte {
 	r := g.rngFor("store", sd.ID)
 	sig := sd.Campaign.Signature
 	plat := platforms[r.Intn(len(platforms))]
@@ -118,55 +186,112 @@ func (g *Generator) storePage(sd *campaign.StoreDeployment, domain string) strin
 		pfx = "shop"
 	}
 
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
-	fmt.Fprintf(&b, "<title>%s %s Outlet - Official Online Store</title>\n",
-		sd.Brand, rng.Pick(r, productNouns))
-	fmt.Fprintf(&b, "<meta name=\"generator\" content=\"%s\">\n", plat.Generator)
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n"...)
+	b = append(b, "<title>"...)
+	b = append(b, sd.Brand...)
+	b = append(b, ' ')
+	b = append(b, rng.Pick(r, productNouns)...)
+	b = append(b, " Outlet - Official Online Store</title>\n"...)
+	b = append(b, "<meta name=\"generator\" content=\""...)
+	b = append(b, plat.Generator...)
+	b = append(b, "\">\n"...)
 	if sig.MetaMarker != "" {
-		fmt.Fprintf(&b, "<meta name=\"%s\" content=\"%s\">\n", sig.MetaMarker, tokenFor(r))
+		b = append(b, "<meta name=\""...)
+		b = append(b, sig.MetaMarker...)
+		b = append(b, "\" content=\""...)
+		b = appendToken(b, r, 16)
+		b = append(b, "\">\n"...)
 	}
-	fmt.Fprintf(&b, "<meta name=\"description\" content=\"%s %s\">\n",
-		sd.Brand, sentence(r, 8))
-	fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"/skin/%s/base.css\">\n", pfx)
+	b = append(b, "<meta name=\"description\" content=\""...)
+	b = append(b, sd.Brand...)
+	b = append(b, ' ')
+	b = appendSentence(b, r, 8)
+	b = append(b, "\">\n"...)
+	b = append(b, "<link rel=\"stylesheet\" href=\"/skin/"...)
+	b = append(b, pfx...)
+	b = append(b, "/base.css\">\n"...)
 	if sig.CommentMarker != "" {
-		fmt.Fprintf(&b, "<!-- %s -->\n", sig.CommentMarker)
+		b = append(b, "<!-- "...)
+		b = append(b, sig.CommentMarker...)
+		b = append(b, " -->\n"...)
 	}
-	b.WriteString("</head>\n<body class=\"" + pfx + "-body\">\n")
-	fmt.Fprintf(&b, "<div class=\"%s-header\"><h1>%s %s</h1>", pfx, sd.Brand,
-		localeBanner(sd.Locale))
-	fmt.Fprintf(&b, "<div class=\"%s-nav\"><a href=\"/\">Home</a> <a href=\"%s\">Cart</a> <a href=\"/checkout\">Checkout</a> <a href=\"/track\">Track Order</a></div></div>\n",
-		pfx, plat.CartPath)
+	b = append(b, "</head>\n<body class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-body\">\n"...)
+	b = append(b, "<div class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-header\"><h1>"...)
+	b = append(b, sd.Brand...)
+	b = append(b, ' ')
+	b = append(b, localeBanner(sd.Locale)...)
+	b = append(b, "</h1>"...)
+	b = append(b, "<div class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-nav\"><a href=\"/\">Home</a> <a href=\""...)
+	b = append(b, plat.CartPath...)
+	b = append(b, "\">Cart</a> <a href=\"/checkout\">Checkout</a> <a href=\"/track\">Track Order</a></div></div>\n"...)
 
 	nProducts := 6 + r.Intn(6)
-	fmt.Fprintf(&b, "<div class=\"%s-grid\">\n", pfx)
+	b = append(b, "<div class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-grid\">\n"...)
 	for i := 0; i < nProducts; i++ {
 		noun := rng.Pick(r, productNouns)
 		price := 79 + r.Intn(300)
-		fmt.Fprintf(&b,
-			"<div class=\"%s-product\"><a href=\"/item/%d\">%s %s %s</a><span class=\"price\">$%d.00</span><a class=\"btn\" href=\"/cart/add/%d\">Add to Cart</a></div>\n",
-			pfx, i, sd.Brand, rng.Pick(r, fillerWords), noun, price, i)
+		b = append(b, "<div class=\""...)
+		b = append(b, pfx...)
+		b = append(b, "-product\"><a href=\"/item/"...)
+		b = appendInt(b, i)
+		b = append(b, "\">"...)
+		b = append(b, sd.Brand...)
+		b = append(b, ' ')
+		b = append(b, rng.Pick(r, fillerWords)...)
+		b = append(b, ' ')
+		b = append(b, noun...)
+		b = append(b, "</a><span class=\"price\">$"...)
+		b = appendInt(b, price)
+		b = append(b, ".00</span><a class=\"btn\" href=\"/cart/add/"...)
+		b = appendInt(b, i)
+		b = append(b, "\">Add to Cart</a></div>\n"...)
 	}
-	b.WriteString("</div>\n")
-	fmt.Fprintf(&b, "<p class=\"%s-copy\">%s</p>\n", pfx, sentence(r, 18))
+	b = append(b, "</div>\n"...)
+	b = append(b, "<p class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-copy\">"...)
+	b = appendSentence(b, r, 18)
+	b = append(b, "</p>\n"...)
 
 	// Payment processor: the merchant id exposed in page source is how the
 	// paper confirmed stores engage processors directly (§3.1.2).
-	fmt.Fprintf(&b,
-		"<div class=\"payment\"><img src=\"https://pay.%s.com/badge.png\" alt=\"%s\"><input type=\"hidden\" name=\"merchant_id\" value=\"%s-%06d\"></div>\n",
-		proc, proc, proc, merchantID(r, sd.ID))
+	b = append(b, "<div class=\"payment\"><img src=\"https://pay."...)
+	b = append(b, proc...)
+	b = append(b, ".com/badge.png\" alt=\""...)
+	b = append(b, proc...)
+	b = append(b, "\"><input type=\"hidden\" name=\"merchant_id\" value=\""...)
+	b = append(b, proc...)
+	b = append(b, '-')
+	b = appendMerchantID(b, merchantID(r, sd.ID))
+	b = append(b, "\"></div>\n"...)
 	if sig.AnalyticsID != "" {
-		b.WriteString(analyticsSnippet(sig.AnalyticsID))
+		b = appendAnalyticsSnippet(b, sig.AnalyticsID)
 	}
 	if sig.ChatWidget != "" {
-		fmt.Fprintf(&b, "<script src=\"/chat/%s/loader.js\"></script>\n", sig.ChatWidget)
+		b = append(b, "<script src=\"/chat/"...)
+		b = append(b, sig.ChatWidget...)
+		b = append(b, "/loader.js\"></script>\n"...)
 	}
 	if sig.ScriptLibrary != "" {
-		fmt.Fprintf(&b, "<script src=\"/js/%s\"></script>\n", sig.ScriptLibrary)
+		b = append(b, "<script src=\"/js/"...)
+		b = append(b, sig.ScriptLibrary...)
+		b = append(b, "\"></script>\n"...)
 	}
-	fmt.Fprintf(&b, "<div class=\"footer\">&copy; 2014 %s. %s</div>\n", domain, sentence(r, 6))
-	b.WriteString("</body>\n</html>\n")
-	return b.String()
+	b = append(b, "<div class=\"footer\">&copy; 2014 "...)
+	b = append(b, domain...)
+	b = append(b, ". "...)
+	b = appendSentence(b, r, 6)
+	b = append(b, "</div>\n"...)
+	b = append(b, "</body>\n</html>\n"...)
+	return b
 }
 
 func localeBanner(locale string) string {
@@ -199,129 +324,244 @@ func merchantID(r *rng.Source, id string) int {
 	return (h + r.Intn(1000)) % 1000000
 }
 
-func tokenFor(r *rng.Source) string {
-	const hexdigits = "0123456789ABCDEF"
-	b := make([]byte, 16)
-	for i := range b {
-		b[i] = hexdigits[r.Intn(16)]
+// appendMerchantID renders the merchant number zero-padded to six digits
+// (the %06d of the original template).
+func appendMerchantID(dst []byte, m int) []byte {
+	var tmp [8]byte
+	s := strconv.AppendInt(tmp[:0], int64(m), 10)
+	for i := len(s); i < 6; i++ {
+		dst = append(dst, '0')
 	}
-	return string(b)
+	return append(dst, s...)
 }
 
-// analyticsSnippet renders a web-analytics include whose account id is a
-// strong campaign fingerprint (the paper lists 51.la, cnzz.com and
+// appendToken appends the first n hex digits of a 16-digit token, always
+// consuming all 16 draws so truncated and full tokens leave the substream
+// in the same state.
+func appendToken(dst []byte, r *rng.Source, n int) []byte {
+	const hexdigits = "0123456789ABCDEF"
+	var tok [16]byte
+	for i := range tok {
+		tok[i] = hexdigits[r.Intn(16)]
+	}
+	return append(dst, tok[:n]...)
+}
+
+// appendAnalyticsSnippet renders a web-analytics include whose account id is
+// a strong campaign fingerprint (the paper lists 51.la, cnzz.com and
 // statcounter as validation signals).
-func analyticsSnippet(id string) string {
+func appendAnalyticsSnippet(dst []byte, id string) []byte {
 	switch {
 	case strings.HasPrefix(id, "cnzz-"):
-		return fmt.Sprintf("<script src=\"https://s4.cnzz.com/stat.php?id=%s\"></script>\n", id[5:])
+		dst = append(dst, "<script src=\"https://s4.cnzz.com/stat.php?id="...)
+		dst = append(dst, id[5:]...)
+		return append(dst, "\"></script>\n"...)
 	case strings.HasPrefix(id, "51la-"):
-		return fmt.Sprintf("<script src=\"https://js.users.51.la/%s.js\"></script>\n", id[5:])
+		dst = append(dst, "<script src=\"https://js.users.51.la/"...)
+		dst = append(dst, id[5:]...)
+		return append(dst, ".js\"></script>\n"...)
 	default:
-		return fmt.Sprintf("<script src=\"https://analytics.example/%s.js\"></script>\n", id)
+		dst = append(dst, "<script src=\"https://analytics.example/"...)
+		dst = append(dst, id...)
+		return append(dst, ".js\"></script>\n"...)
 	}
 }
 
 // DoorwayCrawlerPage renders what a search-engine crawler receives from a
 // doorway: keyword-stuffed content crafted to rank for the vertical's
-// terms, carrying the campaign's kit markers.
+// terms, carrying the campaign's kit markers. The memo key covers the
+// doorway identity and the full term list, assembled in one pass over the
+// reused scratch buffer.
 func (g *Generator) DoorwayCrawlerPage(dw *campaign.Doorway, terms []string) string {
-	key := "door/" + dw.ID
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "door/"...)
+	s.key = append(s.key, dw.ID...)
 	for _, t := range terms {
-		key += "|" + t
+		s.key = append(s.key, '|')
+		s.key = append(s.key, t...)
 	}
-	return g.memo(key, func() string { return g.doorwayCrawlerPage(dw, terms) })
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = g.appendDoorwayCrawlerPage(s.buf[:0], dw, terms)
+	return g.internPage(s)
 }
 
-func (g *Generator) doorwayCrawlerPage(dw *campaign.Doorway, terms []string) string {
+func (g *Generator) appendDoorwayCrawlerPage(b []byte, dw *campaign.Doorway, terms []string) []byte {
 	r := g.rngFor("doorway", dw.ID)
 	sig := dw.Campaign.Signature
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n"...)
 	kw := terms
 	if len(kw) > 12 {
 		kw = kw[:12]
 	}
-	fmt.Fprintf(&b, "<title>%s</title>\n", strings.Join(firstN(kw, 3), " | "))
-	fmt.Fprintf(&b, "<meta name=\"keywords\" content=\"%s\">\n", strings.Join(kw, ","))
+	b = append(b, "<title>"...)
+	for i, t := range firstN(kw, 3) {
+		if i > 0 {
+			b = append(b, " | "...)
+		}
+		b = append(b, t...)
+	}
+	b = append(b, "</title>\n"...)
+	b = append(b, "<meta name=\"keywords\" content=\""...)
+	for i, t := range kw {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, t...)
+	}
+	b = append(b, "\">\n"...)
 	if sig.MetaMarker != "" {
-		fmt.Fprintf(&b, "<meta name=\"%s\" content=\"%s\">\n", sig.MetaMarker, tokenFor(r))
+		b = append(b, "<meta name=\""...)
+		b = append(b, sig.MetaMarker...)
+		b = append(b, "\" content=\""...)
+		b = appendToken(b, r, 16)
+		b = append(b, "\">\n"...)
 	}
 	if sig.CommentMarker != "" {
-		fmt.Fprintf(&b, "<!-- %s -->\n", sig.CommentMarker)
+		b = append(b, "<!-- "...)
+		b = append(b, sig.CommentMarker...)
+		b = append(b, " -->\n"...)
 	}
 	pfx := sig.TemplatePrefix
 	if pfx == "" {
 		pfx = "seo"
 	}
-	b.WriteString("</head>\n<body class=\"" + pfx + "-door\">\n")
+	b = append(b, "</head>\n<body class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-door\">\n"...)
 	for i, t := range kw {
-		fmt.Fprintf(&b, "<h2 class=\"%s-kw\"><a href=\"%s\">%s</a></h2>\n", pfx, doorwayPath(sig, t), t)
-		fmt.Fprintf(&b, "<p>%s %s %s</p>\n", t, sentence(r, 14), t)
+		b = append(b, "<h2 class=\""...)
+		b = append(b, pfx...)
+		b = append(b, "-kw\"><a href=\""...)
+		b = appendDoorwayPath(b, sig, t)
+		b = append(b, "\">"...)
+		b = append(b, t...)
+		b = append(b, "</a></h2>\n"...)
+		b = append(b, "<p>"...)
+		b = append(b, t...)
+		b = append(b, ' ')
+		b = appendSentence(b, r, 14)
+		b = append(b, ' ')
+		b = append(b, t...)
+		b = append(b, "</p>\n"...)
 		if i%3 == 2 && sig.Shortener != "" {
-			fmt.Fprintf(&b, "<a href=\"http://%s/%s\">more</a>\n", sig.Shortener, tokenFor(r)[:6])
+			b = append(b, "<a href=\"http://"...)
+			b = append(b, sig.Shortener...)
+			b = append(b, '/')
+			b = appendToken(b, r, 6)
+			b = append(b, "\">more</a>\n"...)
 		}
 	}
 	// Backlink farm block: doorways link to each other to mimic structure.
-	fmt.Fprintf(&b, "<div class=\"%s-links\">\n", pfx)
+	b = append(b, "<div class=\""...)
+	b = append(b, pfx...)
+	b = append(b, "-links\">\n"...)
 	for i := 0; i < 5; i++ {
-		fmt.Fprintf(&b, "<a href=\"http://%s%s\">%s</a>\n",
-			dw.Domain, doorwayPath(sig, rng.Pick(r, fillerWords)), sentence(r, 2))
+		b = append(b, "<a href=\"http://"...)
+		b = append(b, dw.Domain...)
+		b = appendDoorwayPath(b, sig, rng.Pick(r, fillerWords))
+		b = append(b, "\">"...)
+		b = appendSentence(b, r, 2)
+		b = append(b, "</a>\n"...)
 	}
-	b.WriteString("</div>\n")
+	b = append(b, "</div>\n"...)
 	if sig.AnalyticsID != "" {
-		b.WriteString(analyticsSnippet(sig.AnalyticsID))
+		b = appendAnalyticsSnippet(b, sig.AnalyticsID)
 	}
 	if sig.ScriptLibrary != "" {
-		fmt.Fprintf(&b, "<script src=\"/js/%s\"></script>\n", sig.ScriptLibrary)
+		b = append(b, "<script src=\"/js/"...)
+		b = append(b, sig.ScriptLibrary...)
+		b = append(b, "\"></script>\n"...)
 	}
-	b.WriteString("</body>\n</html>\n")
-	return b.String()
+	b = append(b, "</body>\n</html>\n"...)
+	return b
 }
 
-// doorwayPath renders the URL path pattern that names several campaigns
-// (e.g. PHP?P=), used both in links and in the campaign's PSR URLs.
-func doorwayPath(sig campaign.Signature, term string) string {
-	slug := strings.ReplaceAll(term, " ", "+")
+// appendSlug appends term with spaces replaced by '+'.
+func appendSlug(dst []byte, term string) []byte {
+	for i := 0; i < len(term); i++ {
+		if term[i] == ' ' {
+			dst = append(dst, '+')
+		} else {
+			dst = append(dst, term[i])
+		}
+	}
+	return dst
+}
+
+// appendDoorwayPath renders the URL path pattern that names several
+// campaigns (e.g. PHP?P=), used both in links and in the campaign's PSR
+// URLs.
+func appendDoorwayPath(dst []byte, sig campaign.Signature, term string) []byte {
 	if sig.URLToken == "" {
-		return "/?q=" + slug
+		dst = append(dst, "/?q="...)
+		return appendSlug(dst, term)
 	}
 	if strings.Contains(sig.URLToken, "=") {
-		return "/" + sig.URLToken + slug
+		dst = append(dst, '/')
+		dst = append(dst, sig.URLToken...)
+		return appendSlug(dst, term)
 	}
-	return "/" + sig.URLToken + "/?p=" + slug
+	dst = append(dst, '/')
+	dst = append(dst, sig.URLToken...)
+	dst = append(dst, "/?p="...)
+	return appendSlug(dst, term)
 }
 
 // DoorwayPath exposes the doorway URL path for a term, for URL construction
 // elsewhere (SERPs, referrer logs).
-func DoorwayPath(sig campaign.Signature, term string) string { return doorwayPath(sig, term) }
+func DoorwayPath(sig campaign.Signature, term string) string {
+	return string(appendDoorwayPath(nil, sig, term))
+}
+
+var originalTopics = []string{
+	"community garden", "youth chess club", "parish newsletter",
+	"cycling society", "pottery workshop", "local history archive",
+}
 
 // CompromisedOriginalPage renders the legitimate content of the hacked site
 // hosting a doorway: what a direct (non-search) visitor sees, keeping the
 // compromise invisible to the site owner (§3.1.1).
 func (g *Generator) CompromisedOriginalPage(domain string) string {
-	return g.memo("orig/"+domain, func() string { return g.compromisedOriginalPage(domain) })
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "orig/"...)
+	s.key = append(s.key, domain...)
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = g.appendCompromisedOriginalPage(s.buf[:0], domain)
+	return g.internPage(s)
 }
 
-func (g *Generator) compromisedOriginalPage(domain string) string {
+func (g *Generator) appendCompromisedOriginalPage(b []byte, domain string) []byte {
 	r := g.rngFor("original", domain)
-	topic := rng.Pick(r, []string{
-		"community garden", "youth chess club", "parish newsletter",
-		"cycling society", "pottery workshop", "local history archive",
-	})
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
-	fmt.Fprintf(&b, "<title>%s - %s</title>\n", strings.Title(topic), domain)
-	b.WriteString("<meta name=\"generator\" content=\"WordPress 3.5.1\">\n")
-	b.WriteString("</head>\n<body>\n")
-	fmt.Fprintf(&b, "<h1>Welcome to the %s</h1>\n", topic)
+	topic := rng.Pick(r, originalTopics)
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n"...)
+	b = append(b, "<title>"...)
+	b = append(b, strings.Title(topic)...) //nolint:staticcheck // ASCII topics only
+	b = append(b, " - "...)
+	b = append(b, domain...)
+	b = append(b, "</title>\n"...)
+	b = append(b, "<meta name=\"generator\" content=\"WordPress 3.5.1\">\n"...)
+	b = append(b, "</head>\n<body>\n"...)
+	b = append(b, "<h1>Welcome to the "...)
+	b = append(b, topic...)
+	b = append(b, "</h1>\n"...)
 	for i := 0; i < 4; i++ {
-		fmt.Fprintf(&b, "<div class=\"post\"><h3>Post %d</h3><p>Our %s meets weekly; see the calendar for details. %s</p></div>\n",
-			i+1, topic, loremSentence(r))
+		b = append(b, "<div class=\"post\"><h3>Post "...)
+		b = appendInt(b, i+1)
+		b = append(b, "</h3><p>Our "...)
+		b = append(b, topic...)
+		b = append(b, " meets weekly; see the calendar for details. "...)
+		b = append(b, loremSentence(r)...)
+		b = append(b, "</p></div>\n"...)
 	}
-	b.WriteString("<div class=\"sidebar\"><a href=\"/about\">About</a> <a href=\"/contact\">Contact</a></div>\n")
-	b.WriteString("</body>\n</html>\n")
-	return b.String()
+	b = append(b, "<div class=\"sidebar\"><a href=\"/about\">About</a> <a href=\"/contact\">Contact</a></div>\n"...)
+	b = append(b, "</body>\n</html>\n"...)
+	return b
 }
 
 var loremFragments = []string{
@@ -337,40 +577,73 @@ func loremSentence(r *rng.Source) string { return rng.Pick(r, loremFragments) }
 // BenignResultPage renders a legitimate (retailer, review, news) search
 // result for a term — the non-poisoned remainder of each SERP.
 func (g *Generator) BenignResultPage(domain, term string) string {
-	return g.memo("benign/"+domain+"/"+term, func() string { return g.benignResultPage(domain, term) })
+	s := g.scratch.Get()
+	s.key = append(s.key[:0], "benign/"...)
+	s.key = append(s.key, domain...)
+	s.key = append(s.key, '/')
+	s.key = append(s.key, term...)
+	if page, ok := g.cache.GetBytes(s.key); ok {
+		g.scratch.Put(s)
+		return page
+	}
+	s.buf = g.appendBenignResultPage(s.buf[:0], domain, term)
+	return g.internPage(s)
 }
 
-func (g *Generator) benignResultPage(domain, term string) string {
+func (g *Generator) appendBenignResultPage(b []byte, domain, term string) []byte {
 	r := g.rngFor("benign", domain)
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
-	fmt.Fprintf(&b, "<title>%s — reviews and prices | %s</title>\n", term, domain)
-	b.WriteString("</head>\n<body>\n")
-	fmt.Fprintf(&b, "<h1>Shopping guide: %s</h1>\n", term)
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n"...)
+	b = append(b, "<title>"...)
+	b = append(b, term...)
+	b = append(b, " — reviews and prices | "...)
+	b = append(b, domain...)
+	b = append(b, "</title>\n"...)
+	b = append(b, "</head>\n<body>\n"...)
+	b = append(b, "<h1>Shopping guide: "...)
+	b = append(b, term...)
+	b = append(b, "</h1>\n"...)
 	for i := 0; i < 3; i++ {
-		fmt.Fprintf(&b, "<div class=\"review\"><h3>Review %d</h3><p>%s</p></div>\n",
-			i+1, loremSentence(r))
+		b = append(b, "<div class=\"review\"><h3>Review "...)
+		b = appendInt(b, i+1)
+		b = append(b, "</h3><p>"...)
+		b = append(b, loremSentence(r)...)
+		b = append(b, "</p></div>\n"...)
 	}
-	fmt.Fprintf(&b, "<p>%s</p>\n", sentence(r, 12))
-	b.WriteString("</body>\n</html>\n")
-	return b.String()
+	b = append(b, "<p>"...)
+	b = appendSentence(b, r, 12)
+	b = append(b, "</p>\n"...)
+	b = append(b, "</body>\n</html>\n"...)
+	return b
 }
 
 // SeizureNotice renders the serving-notice page a seized domain returns,
 // embedding the court case identifier the seizure analysis scrapes
-// (§5.3's data collection path).
+// (§5.3's data collection path). Notices are rare (one per seizure event),
+// so they are built in scratch but not memoised.
 func (g *Generator) SeizureNotice(firm, caseID string, domains []string) string {
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<title>Domain Seized</title>\n</head>\n<body>\n")
-	fmt.Fprintf(&b, "<h1>This domain has been seized</h1>\n")
-	fmt.Fprintf(&b, "<p>Pursuant to a court order obtained by <span class=\"firm\">%s</span> on behalf of the trademark holder, this domain name has been transferred to the control of the brand protection agent.</p>\n", firm)
-	fmt.Fprintf(&b, "<div class=\"case\" data-case=\"%s\">Case No. %s</div>\n", caseID, caseID)
-	b.WriteString("<div class=\"seized-domains\">\n")
+	s := g.scratch.Get()
+	b := s.buf[:0]
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head>\n<title>Domain Seized</title>\n</head>\n<body>\n"...)
+	b = append(b, "<h1>This domain has been seized</h1>\n"...)
+	b = append(b, "<p>Pursuant to a court order obtained by <span class=\"firm\">"...)
+	b = append(b, firm...)
+	b = append(b, "</span> on behalf of the trademark holder, this domain name has been transferred to the control of the brand protection agent.</p>\n"...)
+	b = append(b, "<div class=\"case\" data-case=\""...)
+	b = append(b, caseID...)
+	b = append(b, "\">Case No. "...)
+	b = append(b, caseID...)
+	b = append(b, "</div>\n"...)
+	b = append(b, "<div class=\"seized-domains\">\n"...)
 	for _, d := range domains {
-		fmt.Fprintf(&b, "<span class=\"seized\">%s</span>\n", d)
+		b = append(b, "<span class=\"seized\">"...)
+		b = append(b, d...)
+		b = append(b, "</span>\n"...)
 	}
-	b.WriteString("</div>\n</body>\n</html>\n")
-	return b.String()
+	b = append(b, "</div>\n</body>\n</html>\n"...)
+	s.buf = b
+	out := string(b)
+	g.scratch.Put(s)
+	return out
 }
 
 func firstN(ss []string, n int) []string {

@@ -1,0 +1,48 @@
+package htmlgen
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+func benchWorld(b *testing.B) (*Generator, []*campaign.Deployment) {
+	b.Helper()
+	r := rng.New(7)
+	specs := campaign.Roster(simclock.StudyWindow())
+	deps := campaign.DeployAll(r.Sub("deploy"), specs, 0.02)
+	return New(r), deps
+}
+
+// BenchmarkDoorwayCrawlerPage measures the steady-state (memoised) doorway
+// fetch path, which the crawler hits for every doorway every day. The memo
+// key covers the doorway identity plus the full term list.
+func BenchmarkDoorwayCrawlerPage(b *testing.B) {
+	g, deps := benchWorld(b)
+	dw := deps[0].Doorways[0]
+	terms := []string{
+		"cheap beats by dre", "beats by dre outlet", "discount beats",
+		"beats studio sale", "dre headphones cheap", "beats pro outlet",
+	}
+	g.DoorwayCrawlerPage(dw, terms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DoorwayCrawlerPage(dw, terms)
+	}
+}
+
+// BenchmarkStorePageHit measures the steady-state (memoised) storefront
+// fetch path.
+func BenchmarkStorePageHit(b *testing.B) {
+	g, deps := benchWorld(b)
+	st := deps[0].Stores[0]
+	g.StorePage(st, st.Domains[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.StorePage(st, st.Domains[0])
+	}
+}

@@ -1,0 +1,66 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// termSetTree is the original tree-based definition of TermSet, kept as the
+// oracle for the streaming implementation.
+func termSetTree(src string) map[string]struct{} {
+	text := Parse(src).InnerText()
+	set := make(map[string]struct{})
+	for _, w := range strings.Fields(strings.ToLower(text)) {
+		w = strings.Trim(w, ".,!?;:\"'()[]")
+		if len(w) >= 2 {
+			set[w] = struct{}{}
+		}
+	}
+	return set
+}
+
+var termSetCorpus = []string{
+	"",
+	"plain words only",
+	"<html><body><p>Cheap UGGS, boots! (Sale)</p></body></html>",
+	"<div>punct 'edges' [boxed] \"quoted\" end.</div>",
+	"<script>var hidden = \"not a term\";</script><p>visible term</p>",
+	"<style>.cls { color: red }</style><span>styled text</span>",
+	"<script>unterminated raw content with words",
+	"</script>stray end tag then words",
+	"<p>unicode 日本公式オンラインストア Straße İstanbul</p>",
+	"<p>a I x</p>", // single-byte words are dropped
+	"<b>bold</b>mid<script>skip()</script>tail",
+	"<p>broken < markup <notatag ></p>",
+	"<!-- comment words --><!DOCTYPE html><p>real words</p>",
+	"<ul><li>item one</li>\n\t<li>item two</li></ul>",
+	"<a href=\"http://x.example/?q=a+b\">link text here</a>",
+	"MiXeD CaSe WORDS lower",
+	"<p>tab\tand\nnewline   runs</p>",
+	"<script type=\"text/javascript\">document.write('<p>written</p>');</script>after",
+}
+
+func TestTermSetMatchesTreeOracle(t *testing.T) {
+	for i, src := range termSetCorpus {
+		got := TermSet(src)
+		want := termSetTree(src)
+		if len(got) != len(want) {
+			t.Errorf("corpus[%d]: streaming has %d terms, tree has %d\ngot:  %v\nwant: %v",
+				i, len(got), len(want), got, want)
+			continue
+		}
+		for w := range want {
+			if _, ok := got[w]; !ok {
+				t.Errorf("corpus[%d]: streaming missing term %q", i, w)
+			}
+		}
+	}
+}
+
+func BenchmarkTermSet(b *testing.B) {
+	src := termSetCorpus[2] + termSetCorpus[4] + termSetCorpus[8] + termSetCorpus[14]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TermSet(src)
+	}
+}

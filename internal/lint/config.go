@@ -52,6 +52,7 @@ var simulationPackages = []string{
 	"repro/internal/purchase",
 	"repro/internal/rng",
 	"repro/internal/searchsim",
+	"repro/internal/shard",
 	"repro/internal/simclock",
 	"repro/internal/simweb",
 	"repro/internal/store",

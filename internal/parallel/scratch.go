@@ -1,0 +1,31 @@
+package parallel
+
+import "sync"
+
+// Scratch is a typed free-list of per-worker scratch objects. Observe-phase
+// workers Get a scratch, build into its reused buffers, and Put it back, so
+// steady-state page generation and feature extraction run without per-call
+// allocation. It is a thin wrapper over sync.Pool: objects may be dropped
+// under memory pressure and are re-created by the alloc hook, so scratch
+// state must never carry semantic meaning across Get/Put pairs — only
+// capacity.
+type Scratch[T any] struct {
+	pool sync.Pool
+}
+
+// NewScratch returns a pool whose objects are created by alloc. alloc must
+// return a ready-to-use object; it may size internal buffers from live
+// statistics (e.g. the largest page generated so far) so fresh objects start
+// at steady-state capacity instead of growing through reallocation.
+func NewScratch[T any](alloc func() *T) *Scratch[T] {
+	s := &Scratch[T]{}
+	s.pool.New = func() any { return alloc() }
+	return s
+}
+
+// Get fetches a scratch object, creating one if the pool is empty.
+func (s *Scratch[T]) Get() *T { return s.pool.Get().(*T) }
+
+// Put returns a scratch object for reuse. The caller must not use t after
+// Put.
+func (s *Scratch[T]) Put(t *T) { s.pool.Put(t) }

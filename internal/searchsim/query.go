@@ -48,9 +48,13 @@ func (e *Engine) EachSlot(v brands.Vertical, fn func(termIdx, rank int, s *Slot)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	vs := e.verticals[v]
+	// One reused copy for the whole walk: &s escapes into fn, so a
+	// per-slot copy would heap-allocate every slot of every SERP (the
+	// observe phase's single largest allocation site before this hoist).
+	var s Slot
 	for ti, sp := range vs.serps {
 		for rank := range sp.slots {
-			s := sp.slots[rank]
+			s = sp.slots[rank]
 			s.Rank = rank
 			fn(ti, rank, &s)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+	"sync"
 
 	"repro/internal/analytics"
 	"repro/internal/campaign"
@@ -81,6 +82,16 @@ type StoreSite struct {
 	Gen   *htmlgen.Generator
 	// Window is needed to render analytics reports with civil dates.
 	Window simclock.Window
+
+	// cookieOnce guards the lazily built detection cookies; they depend
+	// only on the store's immutable identity, and the store is fetched on
+	// every observe pass, so rebuilding them per request was a steady
+	// allocation tax.
+	cookieOnce sync.Once
+	cookieVals []string
+	// checkoutOnce guards the cart/checkout body, equally static per store.
+	checkoutOnce sync.Once
+	checkoutBody string
 }
 
 // Serve implements Site: the landing page with detection-relevant cookies,
@@ -119,10 +130,12 @@ func (s *StoreSite) Serve(req Request) Response {
 			"<html><head><title>Order Confirmation</title></head><body><h1>Thank you</h1><div class=\"order-number\">Order No. %d</div><p>Proceed to payment processing.</p></body></html>", n)
 		return Response{Status: 200, Body: body, Cookies: s.cookies()}
 	case strings.Contains(u.Path, "cart") || strings.HasPrefix(u.Path, "/checkout"):
-		body := fmt.Sprintf(
-			"<html><head><title>Checkout - %s</title></head><body><h1>Shopping Cart</h1><a href=\"/order/new\">Place order</a><div class=\"processor\" data-bin=\"%s\">%s</div></body></html>",
-			dep.Brand, s.Store.Processor.BIN, s.Store.Processor.Name)
-		return Response{Status: 200, Body: body, Cookies: s.cookies()}
+		s.checkoutOnce.Do(func() {
+			s.checkoutBody = fmt.Sprintf(
+				"<html><head><title>Checkout - %s</title></head><body><h1>Shopping Cart</h1><a href=\"/order/new\">Place order</a><div class=\"processor\" data-bin=\"%s\">%s</div></body></html>",
+				dep.Brand, s.Store.Processor.BIN, s.Store.Processor.Name)
+		})
+		return Response{Status: 200, Body: s.checkoutBody, Cookies: s.cookies()}
 	default:
 		return Response{Status: 200,
 			Body:    s.Gen.StorePage(dep, u.Hostname()),
@@ -135,15 +148,18 @@ func (s *StoreSite) Serve(req Request) Response {
 // on: the e-commerce platform session, the payment processor session, and
 // the analytics cookie (§4.1.3).
 func (s *StoreSite) cookies() []string {
-	plat := s.Gen.PlatformFor(s.Store.Dep)
-	out := []string{
-		fmt.Sprintf("%s=%s; path=/", plat.Cookie, sessionToken(s.Store.ID())),
-		fmt.Sprintf("%s_session=%s; path=/", s.Store.Processor.Name, sessionToken(s.Store.ID()+"p")),
-	}
-	if id := s.Store.Dep.Campaign.Signature.AnalyticsID; strings.HasPrefix(id, "cnzz-") {
-		out = append(out, fmt.Sprintf("CNZZDATA%s=1; path=/", id[5:]))
-	}
-	return out
+	s.cookieOnce.Do(func() {
+		plat := s.Gen.PlatformFor(s.Store.Dep)
+		out := []string{
+			fmt.Sprintf("%s=%s; path=/", plat.Cookie, sessionToken(s.Store.ID())),
+			fmt.Sprintf("%s_session=%s; path=/", s.Store.Processor.Name, sessionToken(s.Store.ID()+"p")),
+		}
+		if id := s.Store.Dep.Campaign.Signature.AnalyticsID; strings.HasPrefix(id, "cnzz-") {
+			out = append(out, fmt.Sprintf("CNZZDATA%s=1; path=/", id[5:]))
+		}
+		s.cookieVals = out
+	})
+	return s.cookieVals
 }
 
 func sessionToken(seed string) string {
