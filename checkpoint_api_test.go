@@ -1,0 +1,282 @@
+package searchseizure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// goldenTinyFingerprint is the tinyConfig() faults-off dataset fingerprint
+// (the same configuration and constant as internal/core's golden). Every
+// resume path below must converge to it — a checkpointed study is
+// bit-identical to an uninterrupted one.
+const goldenTinyFingerprint = 0xf6f361ae7ec6499d
+
+func mustGolden(t *testing.T, s *Study) {
+	t.Helper()
+	data, err := s.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if got := data.Fingerprint(); uint64(got) != goldenTinyFingerprint {
+		t.Fatalf("fingerprint %#x != golden %#x", got, uint64(goldenTinyFingerprint))
+	}
+}
+
+// TestCheckpointResumeAfterCancellation is the paved-path crash story:
+// a study is cancelled mid-run (day-granular, like a drained SIGTERM), a
+// brand-new process opens the same checkpoint directory, and the finished
+// dataset is bit-identical to an uninterrupted run.
+func TestCheckpointResumeAfterCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	s, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel at a mid-run day boundary; the checkpoint hook chains after
+	// this one, so the snapshot for the cancellation day still lands.
+	cut := s.World.Sim.Days() / 2
+	s.World.OnDayEnd = func(d simclock.Day) {
+		if int(d)+1 == cut {
+			cancel()
+		}
+	}
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	resumed, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGolden(t, resumed)
+	if got := int(resumed.World.Snapshot().NextDay); got != resumed.World.Sim.Days() {
+		t.Fatalf("resumed study stopped at day %d", got)
+	}
+}
+
+// TestCheckpointResumeAtDayZero: a checkpoint written before any day ran
+// (e.g. a SIGTERM during warm-up) resumes from day 0 and still converges.
+func TestCheckpointResumeAtDayZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	s, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGolden(t, resumed)
+}
+
+// TestCheckpointResumeWhenComplete: the final snapshot of a finished study
+// restores into a world with no days left; RunContext finalizes straight
+// away and the dataset still carries the golden fingerprint.
+func TestCheckpointResumeWhenComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	s, err := New(tinyConfig(), WithCheckpoint(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGolden(t, s)
+
+	resumed, err := New(tinyConfig(), WithCheckpoint(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGolden(t, resumed)
+}
+
+// TestCheckpointConfigMismatchSurfaces: pointing a differently-seeded study
+// at an existing checkpoint directory is a usage error, not a silent
+// restart.
+func TestCheckpointConfigMismatchSurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	s, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := tinyConfig()
+	other.Seed++
+	mismatched, err := New(other, WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mismatched.RunContext(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "config") {
+		t.Fatalf("got %v, want a config-mismatch restore error", err)
+	}
+}
+
+func TestWithCheckpointRejectsEmptyDir(t *testing.T) {
+	if _, err := New(tinyConfig(), WithCheckpoint("", 1)); err == nil {
+		t.Fatal("New accepted an empty checkpoint directory")
+	}
+}
+
+// TestCheckpointSurvivesKill9 is the headline durability claim, tested for
+// real: a child process running a checkpointed study is killed with
+// SIGKILL — no handler, no flush, no goodbye — mid-study, and a fresh
+// process over the same directory finishes the study bit-identically.
+func TestCheckpointSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if os.Getenv("SSCKPT_CHILD") != "" {
+		t.Skip("child guard")
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCheckpointKill9Child$", "-test.v")
+	cmd.Env = append(os.Environ(), "SSCKPT_CHILD=1", "SSCKPT_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the child to commit at least two snapshots, then kill -9 —
+	// possibly mid-write of a third, which recovery must shrug off.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if n, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt")); len(n) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child produced no checkpoints within the deadline")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	resumed, err := New(tinyConfig(), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGolden(t, resumed)
+}
+
+// TestCheckpointKill9Child is the sacrificial process for the kill -9
+// tests. It only runs when a parent execs it with the guard env set; the
+// optional SSCKPT_PROFILE env selects a fault profile.
+func TestCheckpointKill9Child(t *testing.T) {
+	if os.Getenv("SSCKPT_CHILD") == "" {
+		t.Skip("only runs as the kill -9 child")
+	}
+	opts := []Option{WithCheckpoint(os.Getenv("SSCKPT_DIR"), 1)}
+	if p := os.Getenv("SSCKPT_PROFILE"); p != "" {
+		opts = append(opts, WithFaults(p))
+	}
+	s, err := New(tinyConfig(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCrashRecoveryMatrix is the CI crash-recovery job: a study
+// under the matrix fault profile (FAULT_PROFILE, default moderate) is
+// killed with SIGKILL at a day chosen by hashing the seed and profile — so
+// the kill point wanders across code changes instead of fossilising on a
+// hand-picked day — then a fresh process resumes from the surviving
+// snapshots and its fingerprint must equal an uninterrupted run's.
+func TestCheckpointCrashRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if os.Getenv("SSCKPT_CHILD") != "" {
+		t.Skip("child guard")
+	}
+	profile := os.Getenv("FAULT_PROFILE")
+	if profile == "" {
+		profile = "moderate"
+	}
+	cfg := tinyConfig()
+	base, err := New(cfg, WithFaults(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := base.World.Sim.Days()
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "crash-recovery/%d/%s", cfg.Seed, profile)
+	killDay := 1 + int(h.Sum64()%uint64(days-1))
+	t.Logf("profile %s: killing after the day-%d snapshot lands", profile, killDay)
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCheckpointKill9Child$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"SSCKPT_CHILD=1", "SSCKPT_DIR="+dir, "SSCKPT_PROFILE="+profile)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	target := filepath.Join(dir, fmt.Sprintf("ckpt-%08d.ckpt", killDay))
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if _, err := os.Stat(target); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child never reached day %d within the deadline", killDay)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	resumed, err := New(cfg, WithFaults(profile), WithCheckpoint(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("resumed fingerprint %#x != uninterrupted %#x",
+			got.Fingerprint(), want.Fingerprint())
+	}
+}

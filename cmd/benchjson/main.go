@@ -36,6 +36,7 @@ import (
 
 	searchseizure "repro"
 	"repro/internal/campaign"
+	"repro/internal/checkpoint"
 	"repro/internal/htmlgen"
 	"repro/internal/htmlparse"
 	"repro/internal/lint"
@@ -76,6 +77,13 @@ type metrics struct {
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 	// SslintWallMs is recorded, not ratcheted.
 	SslintWallMs float64 `json:"sslint_wall_ms"`
+	// CheckpointSaveMs times one full-study snapshot through the codec and
+	// the atomic write protocol; CheckpointLoadMs times the recovery scan
+	// plus decode of the same file. Recorded, not ratcheted: both are
+	// dominated by disk latency, which is the host's mood rather than the
+	// code's cost.
+	CheckpointSaveMs float64 `json:"checkpoint_save_ms"`
+	CheckpointLoadMs float64 `json:"checkpoint_load_ms"`
 }
 
 // report is the file's top-level shape.
@@ -400,6 +408,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "telemetry study:", err)
 		os.Exit(1)
 	}
+	// Time one checkpoint save/load cycle over the finished study: the
+	// snapshot export, codec and atomic-write protocol on the way out, the
+	// recovery scan and decode on the way back. The manager records the
+	// same numbers into reg's checkpoint_{save,load}_ms histograms, so they
+	// also land in the archived telemetry snapshot below.
+	ckDir, err := os.MkdirTemp("", "benchjson-ckpt-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint timing:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ckDir)
+	mgr, err := checkpoint.NewManager(checkpoint.Options{Dir: ckDir, Telemetry: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint timing:", err)
+		os.Exit(1)
+	}
+	saveStart := time.Now()
+	if err := mgr.Save(study.World.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint timing:", err)
+		os.Exit(1)
+	}
+	rep.Metrics.CheckpointSaveMs = float64(time.Since(saveStart).Microseconds()) / 1000
+	loadStart := time.Now()
+	if _, err := mgr.Load(); err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint timing:", err)
+		os.Exit(1)
+	}
+	rep.Metrics.CheckpointLoadMs = float64(time.Since(loadStart).Microseconds()) / 1000
+	fmt.Fprintf(os.Stderr, "%-28s save %.1fms load %.1fms\n", "checkpoint cycle",
+		rep.Metrics.CheckpointSaveMs, rep.Metrics.CheckpointLoadMs)
+
 	snap := reg.Snapshot()
 	rep.Telemetry = &snap
 

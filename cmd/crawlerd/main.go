@@ -28,15 +28,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	searchseizure "repro"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/crawler"
@@ -74,15 +78,31 @@ func handlerFor(p *faults.Plan, web http.Handler) http.Handler {
 }
 
 // adminHandler mounts the observability endpoints ahead of the simulated
-// web: /metrics, /debug/vars and /debug/pprof/* answer directly (and are
-// never fault-injected — the admin plane must stay reachable while the
-// data plane burns); everything else falls through to web. The simulated
-// web addresses pages via the ?simhost= query parameter with the page path
-// in ?u=, so reserving these URL paths shadows no simulated content. With
-// telemetry off (nil reg) /metrics and /debug/vars serve empty documents;
-// the pprof handlers work regardless.
-func adminHandler(reg *telemetry.Registry, web http.Handler) http.Handler {
+// web: /healthz, /readyz, /metrics, /debug/vars and /debug/pprof/* answer
+// directly (and are never fault-injected — the admin plane must stay
+// reachable while the data plane burns); everything else falls through to
+// web. The simulated web addresses pages via the ?simhost= query parameter
+// with the page path in ?u=, so reserving these URL paths shadows no
+// simulated content. With telemetry off (nil reg) /metrics and /debug/vars
+// serve empty documents; the pprof handlers work regardless.
+//
+// /healthz answers 200 whenever the process serves at all (liveness).
+// /readyz gates on ready: in checkpoint mode it turns 200 only once
+// crash recovery has completed, so an orchestrator never routes work to a
+// replica still restoring state; a nil ready (no recovery phase) is
+// always ready.
+func adminHandler(reg *telemetry.Registry, ready *atomic.Bool, web http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		io.WriteString(rw, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		if ready != nil && !ready.Load() {
+			http.Error(rw, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(rw, "ready\n")
+	})
 	mux.Handle("/metrics", reg.MetricsHandler())
 	mux.Handle("/debug/vars", reg.VarsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -116,12 +136,68 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout 
 	return nil
 }
 
+// runStudyMode runs the full longitudinal study with durable checkpoints
+// while serving the admin plane (and the simulated web) on addr. On boot it
+// auto-recovers from the newest good snapshot before declaring /readyz; a
+// SIGTERM/SIGINT stops the run at the next day boundary and writes a final
+// checkpoint, so the next boot resumes exactly where this one drained.
+func runStudyMode(cfg core.Config, reg *telemetry.Registry, addr, dir string, every int) error {
+	fmt.Println("building simulated world...")
+	s, err := searchseizure.New(cfg,
+		searchseizure.WithCheckpoint(dir, every),
+		searchseizure.WithLogger(log.New(os.Stdout, "", log.LstdFlags)))
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d simulated domains on %s\n", s.World.Web.Domains(), base)
+	fmt.Printf("admin: %s/healthz, %s/readyz, %s/metrics\n", base, base, base)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var ready atomic.Bool
+	srv := newServer(adminHandler(reg, &ready, handlerFor(s.World.Faults, s.World.Web)))
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln, 10*time.Second) }()
+
+	if err := s.Recover(); err != nil {
+		return err
+	}
+	ready.Store(true)
+
+	data, runErr := s.RunContext(ctx)
+	if runErr != nil {
+		fmt.Printf("drained after day %d/%d; writing final checkpoint\n",
+			data.DaysRun, s.World.Sim.Days())
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("study complete: %d days, fingerprint %#x\n",
+			data.DaysRun, uint64(data.Fingerprint()))
+	}
+
+	stop()
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Println("drained, bye")
+	return nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
 		day       = flag.Int("day", 30, "simulation day to crawl")
 		maxDom    = flag.Int("max", 200, "max domains to crawl")
 		serveOnly = flag.Bool("serve-only", false, "serve the simulated web and wait")
+		ckptDir   = flag.String("checkpoint", "", "checkpoint directory: run the full study with durable day snapshots, auto-recovering on boot")
+		ckptEvery = flag.Int("checkpoint-every", 1, "days between checkpoints (with -checkpoint)")
 	)
 	shared := cli.RegisterStudyFlags(flag.CommandLine, 1, true)
 	flag.Parse()
@@ -138,6 +214,14 @@ func main() {
 	cfg.Faults = faultCfg
 	cfg.Seed = shared.Seed()
 	cfg.Telemetry = reg
+
+	if *ckptDir != "" {
+		if err := runStudyMode(cfg, reg, *addr, *ckptDir, *ckptEvery); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("building simulated world...")
 	w := core.NewWorld(cfg)
 	w.Engine.Advance(simclock.Day(*day))
@@ -160,7 +244,7 @@ func main() {
 	// SIGTERM/SIGINT drain the server instead of killing in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := newServer(adminHandler(reg, handlerFor(w.Faults, w.Web)))
+	srv := newServer(adminHandler(reg, nil, handlerFor(w.Faults, w.Web)))
 
 	if *serveOnly {
 		if err := serve(ctx, srv, ln, 10*time.Second); err != nil {

@@ -8,6 +8,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -169,6 +170,86 @@ func TestHandlerForWithoutFaultsStillServes(t *testing.T) {
 	}
 }
 
+// TestHealthAndReadyEndpoints is the probe smoke test: /healthz answers the
+// moment the server is up, while /readyz stays 503 until recovery flips the
+// ready bit — the contract an orchestrator's probes rely on — and both keep
+// answering alongside /metrics. A nil ready bit (no recovery phase) is
+// ready immediately.
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	reg := telemetry.New()
+	var ready atomic.Bool
+	h := adminHandler(reg, &ready, http.NotFoundHandler())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := newServer(h)
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz before recovery = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before recovery = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, body := get("/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz after recovery = %d %q, want 200 ready", code, body)
+	}
+	if code, _ := get("/metrics"); code != 200 {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+
+	// Without a recovery phase the probes are green from the start.
+	h2 := adminHandler(reg, nil, http.NotFoundHandler())
+	rec := func(path string) int {
+		req, _ := http.NewRequest("GET", path, nil)
+		rw := &statusRecorder{ResponseWriter: noopWriter{}, code: 200}
+		h2.ServeHTTP(rw, req)
+		return rw.code
+	}
+	if code := rec("/readyz"); code != 200 {
+		t.Fatalf("nil-ready /readyz = %d, want 200", code)
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Header() http.Header         { return http.Header{} }
+func (noopWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (noopWriter) WriteHeader(int)             {}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(c int) {
+	r.code = c
+	r.ResponseWriter.WriteHeader(c)
+}
+
 // TestAdminEndpointsServeAheadOfFaults is the admin-plane smoke test: with
 // a severe fault profile burning the data plane, /metrics must still answer
 // with Prometheus text carrying the crawler counters, and /debug/vars must
@@ -181,7 +262,7 @@ func TestAdminEndpointsServeAheadOfFaults(t *testing.T) {
 	web := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		io.WriteString(rw, "simulated page")
 	})
-	h := adminHandler(reg, web)
+	h := adminHandler(reg, nil, web)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

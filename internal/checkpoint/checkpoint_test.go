@@ -1,0 +1,336 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// testCfg is a miniature study config (same shape as internal/core's
+// smallConfig) so building snapshot fixtures stays fast.
+func testCfg() core.Config {
+	cfg := core.TestConfig()
+	cfg.TermsPerVertical = 3
+	cfg.SlotsPerTerm = 20
+	cfg.ExtendedTail = false
+	return cfg
+}
+
+// snapCache memoizes fixtures per cut day: building a world dominates this
+// package's test time, and every caller treats snapshots as read-only
+// (except TestRestoreSnapshotRejectsTamperedDataset-style mutation, which
+// lives in internal/core and builds its own).
+var snapCache = map[int]*core.StudySnapshot{}
+
+// snapshotAfter runs a fresh world and captures its snapshot after `cut`
+// days, using the day-boundary hook plus context cancellation so the run
+// stops deterministically right at the boundary. cut == 0 snapshots the
+// fresh world.
+func snapshotAfter(t *testing.T, cut int) *core.StudySnapshot {
+	t.Helper()
+	if s, ok := snapCache[cut]; ok {
+		return s
+	}
+	w := core.NewWorld(testCfg())
+	if cut == 0 {
+		s := w.Snapshot()
+		snapCache[0] = s
+		return s
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var snap *core.StudySnapshot
+	w.OnDayEnd = func(d simclock.Day) {
+		if int(d)+1 == cut {
+			snap = w.Snapshot()
+			cancel()
+		}
+	}
+	w.RunContext(ctx)
+	if snap == nil {
+		t.Fatalf("no snapshot captured at day %d", cut)
+	}
+	snapCache[cut] = snap
+	return snap
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := snapshotAfter(t, 3)
+	data, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatal("decoded snapshot differs from original")
+	}
+	// Encoding is deterministic: the same snapshot re-encodes to the same
+	// bytes, so checkpoint files are byte-comparable across runs.
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding a decoded snapshot changed the bytes")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	snap := snapshotAfter(t, 2)
+	data, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, headerSize - 1, headerSize + 7, len(data) / 2, len(data) - 1} {
+			if _, err := Decode(data[:n]); err == nil {
+				t.Errorf("accepted a file truncated to %d bytes", n)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[0] ^= 0xFF
+		if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[7] = 99
+		if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+			t.Errorf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		// A single flipped bit anywhere in the payload or checksum must be
+		// detected. Sampling offsets keeps the test fast on large files.
+		for off := headerSize; off < len(data); off += 101 {
+			bad := bytes.Clone(data)
+			bad[off] ^= 0x10
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("accepted a bit flip at offset %d", off)
+			}
+		}
+	})
+	t.Run("appended-garbage", func(t *testing.T) {
+		if _, err := Decode(append(bytes.Clone(data), 0xAB)); err == nil {
+			t.Error("accepted a file with trailing garbage")
+		}
+	})
+}
+
+func TestManagerSaveLoadRotate(t *testing.T) {
+	reg := telemetry.New()
+	m, err := NewManager(Options{Dir: t.TempDir(), Keep: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: got %v, want ErrNoCheckpoint", err)
+	}
+
+	snaps := map[int]*core.StudySnapshot{}
+	for _, cut := range []int{1, 2, 3} {
+		snaps[cut] = snapshotAfter(t, cut)
+		if err := m.Save(snaps[cut]); err != nil {
+			t.Fatalf("save at day %d: %v", cut, err)
+		}
+	}
+
+	// Keep=2: only the two newest snapshots survive rotation.
+	if days := m.list(); !reflect.DeepEqual(days, []int{2, 3}) {
+		t.Fatalf("after rotation have days %v, want [2 3]", days)
+	}
+	got, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snaps[3]) {
+		t.Fatal("Load did not return the newest snapshot")
+	}
+	if v := reg.Counter("checkpoint_saves_total").Value(); v != 3 {
+		t.Errorf("saves_total = %d, want 3", v)
+	}
+	if v := reg.Counter("checkpoint_loads_total").Value(); v != 1 {
+		t.Errorf("loads_total = %d, want 1", v)
+	}
+	if c := reg.Histogram("checkpoint_save_ms", telemetry.DurationBuckets()).Count(); c != 3 {
+		t.Errorf("save_ms histogram count = %d, want 3", c)
+	}
+}
+
+// TestManagerFallsBackPastCorruption: damage to the newest snapshot —
+// bit-flipped or truncated, as a torn write would leave — is detected and
+// Load falls back to the previous good one, with the damage counted.
+func TestManagerFallsBackPastCorruption(t *testing.T) {
+	corrupt := func(t *testing.T, path string, mode string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch mode {
+		case "bitflip":
+			data[len(data)/2] ^= 0x01
+		case "truncate":
+			data = data[:len(data)/3]
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, mode := range []string{"bitflip", "truncate"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			reg := telemetry.New()
+			m, err := NewManager(Options{Dir: dir, Telemetry: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			good := snapshotAfter(t, 1)
+			if err := m.Save(good); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Save(snapshotAfter(t, 2)); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, filepath.Join(dir, fileFor(2)), mode)
+
+			got, err := m.Load()
+			if err != nil {
+				t.Fatalf("Load with damaged newest: %v", err)
+			}
+			if !reflect.DeepEqual(got, good) {
+				t.Fatal("Load did not fall back to the previous good snapshot")
+			}
+			if v := reg.Counter("checkpoint_corrupt_total").Value(); v != 1 {
+				t.Errorf("corrupt_total = %d, want 1", v)
+			}
+			if v := reg.Counter("checkpoint_fallbacks_total").Value(); v != 1 {
+				t.Errorf("fallbacks_total = %d, want 1", v)
+			}
+
+			// Damage the survivor too: now Load must fail, and the error
+			// must not read as "no checkpoint" (data was present, just bad).
+			corrupt(t, filepath.Join(dir, fileFor(1)), mode)
+			if _, err := m.Load(); err == nil || errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("all-corrupt dir: got %v, want a damage error", err)
+			}
+		})
+	}
+}
+
+// TestCrashAtEveryKillPoint drives the atomic write protocol into a wall
+// at each kill point in turn and checks the durability invariant: after
+// any crash, the directory still loads — either the previous snapshot
+// (crash before rename) or the new one (crash after).
+func TestCrashAtEveryKillPoint(t *testing.T) {
+	prev := snapshotAfter(t, 1)
+	next := snapshotAfter(t, 2)
+	for _, op := range []string{"create", "write", "fsync", "rename", "dirsync"} {
+		t.Run(op, func(t *testing.T) {
+			dir := t.TempDir()
+			clean, err := NewManager(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clean.Save(prev); err != nil {
+				t.Fatal(err)
+			}
+
+			reg := telemetry.New()
+			m, err := NewManager(Options{
+				Dir:       dir,
+				Telemetry: reg,
+				Disk:      faults.NewDiskPlan(42, 1.0, op),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Save(next); !errors.Is(err, faults.ErrInjectedCrash) {
+				t.Fatalf("save at kill point %q: got %v, want ErrInjectedCrash", op, err)
+			}
+			if v := reg.Counter("checkpoint_saves_total").Value(); v != 0 {
+				t.Errorf("crashed save counted as success (saves_total = %d)", v)
+			}
+
+			got, err := m.Load()
+			if err != nil {
+				t.Fatalf("Load after crash at %q: %v", op, err)
+			}
+			switch op {
+			case "dirsync":
+				// The rename committed before the crash: the new snapshot
+				// is already durable.
+				if !reflect.DeepEqual(got, next) {
+					t.Fatal("crash after rename lost the renamed snapshot")
+				}
+			default:
+				if !reflect.DeepEqual(got, prev) {
+					t.Fatalf("crash at %q damaged the previous snapshot", op)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashedWriteLeavesNoFinalFile: the torn half-written file a "write"
+// crash leaves behind is a .tmp the loader never confuses with a snapshot.
+func TestCrashedWriteLeavesNoFinalFile(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Options{Dir: dir, Disk: faults.NewDiskPlan(7, 1.0, "write")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotAfter(t, 1)
+	if err := m.Save(snap); !errors.Is(err, faults.ErrInjectedCrash) {
+		t.Fatalf("got %v, want ErrInjectedCrash", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fileFor(int(snap.NextDay)))); !os.IsNotExist(err) {
+		t.Fatal("torn write produced a final-name file")
+	}
+	if _, err := m.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("got %v, want ErrNoCheckpoint (tmp files are not snapshots)", err)
+	}
+}
+
+// TestDiskPlanDeterminism: crash decisions are a pure hash of (seed, op,
+// key) — the same plan replays the same schedule, different seeds differ.
+func TestDiskPlanDeterminism(t *testing.T) {
+	a := faults.NewDiskPlan(1, 0.5)
+	b := faults.NewDiskPlan(1, 0.5)
+	c := faults.NewDiskPlan(2, 0.5)
+	diff := 0
+	for _, op := range []string{"create", "write", "fsync", "rename", "dirsync"} {
+		for _, key := range []string{"ckpt-00000001.ckpt", "ckpt-00000002.ckpt", "x"} {
+			if a.CrashAt(op, key) != b.CrashAt(op, key) {
+				t.Fatalf("same seed disagrees at (%s,%s)", op, key)
+			}
+			if a.CrashAt(op, key) != c.CrashAt(op, key) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical crash schedules")
+	}
+	var nilPlan *faults.DiskPlan
+	if nilPlan.CrashAt("write", "k") {
+		t.Fatal("nil plan crashed")
+	}
+}

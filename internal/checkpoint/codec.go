@@ -1,0 +1,111 @@
+// Package checkpoint persists day-boundary snapshots of a running study so
+// a killed process can resume from the last good one and converge to the
+// bit-identical complete-run fingerprint.
+//
+// On-disk format (all integers little-endian):
+//
+//	offset  size  field
+//	0       7     magic "SSCKPT\x00"
+//	7       1     envelope version (currently 1)
+//	8       8     payload length N
+//	16      N     payload: JSON-encoded core.StudySnapshot
+//	16+N    8     FNV-1a checksum over bytes [0, 16+N)
+//
+// The checksum covers the header too, so a truncated, torn or bit-flipped
+// file — the torn-write window of a crash mid-write — is detected rather
+// than loaded. Decoding is total: arbitrary input yields a typed error or
+// a structurally valid snapshot, never a panic (FuzzDecode enforces this);
+// semantic validity against a particular study is the restorer's job
+// (core.RestoreSnapshot checks the config hash and recomputes the dataset
+// digest).
+//
+// Writes are atomic per the classic protocol: write to a temp file, fsync
+// it, rename over the final name, fsync the directory. A crash at any
+// point leaves either the previous snapshot or the complete new one — a
+// property the crash-injection tests (via faults.DiskPlan kill points)
+// exercise at every step.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// envelopeVersion is the on-disk framing version. core.SnapshotVersion
+// tracks the payload schema separately and is carried inside the payload's
+// generation by the config hash discipline.
+const envelopeVersion = 1
+
+var magic = [7]byte{'S', 'S', 'C', 'K', 'P', 'T', 0}
+
+// headerSize is magic + version byte + payload length.
+const headerSize = len(magic) + 1 + 8
+
+// Typed decode errors. Every way a file can fail to decode maps onto one
+// of these (possibly wrapped with detail), so callers can distinguish
+// corruption classes in telemetry and tests.
+var (
+	// ErrTruncated: the file is shorter than its framing promises.
+	ErrTruncated = errors.New("checkpoint: file truncated")
+	// ErrBadMagic: the file does not start with the checkpoint magic.
+	ErrBadMagic = errors.New("checkpoint: bad magic")
+	// ErrVersion: the envelope version is unknown to this build.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+	// ErrChecksum: the trailing checksum does not match the content.
+	ErrChecksum = errors.New("checkpoint: checksum mismatch")
+	// ErrCorrupt: the framing is intact but the payload does not decode.
+	ErrCorrupt = errors.New("checkpoint: corrupt payload")
+)
+
+// Encode serializes a snapshot into the framed, checksummed form.
+func Encode(snap *core.StudySnapshot) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	buf := make([]byte, 0, headerSize+len(payload)+8)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, envelopeVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	h := fnv.New64a()
+	h.Write(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Sum64())
+	return buf, nil
+}
+
+// Decode parses a framed snapshot. It is safe on arbitrary input: every
+// length is checked before use, the payload length must account for the
+// file size exactly, and the checksum must match before the payload is
+// even looked at.
+func Decode(data []byte) (*core.StudySnapshot, error) {
+	if len(data) < headerSize+8 {
+		return nil, ErrTruncated
+	}
+	if [7]byte(data[:7]) != magic {
+		return nil, ErrBadMagic
+	}
+	if data[7] != envelopeVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, data[7])
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if n != uint64(len(data)-headerSize-8) {
+		return nil, fmt.Errorf("%w: payload length %d in a %d-byte file", ErrTruncated, n, len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, ErrChecksum
+	}
+	snap := new(core.StudySnapshot)
+	if err := json.Unmarshal(data[headerSize:len(data)-8], snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return snap, nil
+}

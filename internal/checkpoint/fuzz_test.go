@@ -1,0 +1,63 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzDecode enforces the decoder's totality contract: arbitrary bytes
+// produce either a typed error or a valid snapshot — never a panic, and
+// never a "valid" result that fails to re-encode. The seed corpus covers
+// the interesting boundaries: a genuine encoding, every framing field
+// damaged one at a time, and pathological length claims.
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode(core.NewWorld(testCfg()).Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+
+	badVersion := bytes.Clone(valid)
+	badVersion[7] = 0xFF
+	f.Add(badVersion)
+
+	// A framing that claims a payload far larger than the file.
+	huge := bytes.Clone(valid[:headerSize])
+	binary.LittleEndian.PutUint64(huge[8:16], 1<<60)
+	f.Add(huge)
+
+	// Valid framing and checksum around a payload that is not JSON: the
+	// checksum passes, the payload decode must still fail cleanly.
+	junk := append([]byte{}, magic[:]...)
+	junk = append(junk, envelopeVersion)
+	junk = binary.LittleEndian.AppendUint64(junk, 4)
+	junk = append(junk, "}{!~"...)
+	h := fnv.New64a()
+	h.Write(junk)
+	junk = binary.LittleEndian.AppendUint64(junk, h.Sum64())
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		if snap == nil {
+			t.Fatal("Decode returned neither a snapshot nor an error")
+		}
+		if _, err := Encode(snap); err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+	})
+}

@@ -37,13 +37,20 @@ func (w *World) Run() *Dataset {
 // world continues from the first unrun day, so a cancelled study can be
 // resumed to completion.
 func (w *World) RunContext(ctx context.Context) (*Dataset, error) {
-	for ; int(w.nextDay) < w.Sim.Days(); w.nextDay++ {
+	for int(w.nextDay) < w.Sim.Days() {
 		if err := ctx.Err(); err != nil {
 			w.Finalize()
 			w.Data.DaysRun = int(w.nextDay)
 			return w.Data, err
 		}
-		w.RunDay(w.nextDay)
+		d := w.nextDay
+		w.RunDay(d)
+		// Advance the cursor before the day-boundary hook so a snapshot
+		// taken inside it records day d as committed.
+		w.nextDay = d + 1
+		if w.OnDayEnd != nil {
+			w.OnDayEnd(d)
+		}
 	}
 	w.Finalize()
 	w.Data.DaysRun = w.Sim.Days()

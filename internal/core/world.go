@@ -116,6 +116,12 @@ type World struct {
 	// nextDay is RunContext's resume cursor: the first day not yet run.
 	nextDay simclock.Day
 
+	// OnDayEnd, when set, is called by RunContext after each day fully
+	// commits and the resume cursor has advanced past it — the exact moment
+	// the world is quiescent and Snapshot captures a coherent study. The
+	// checkpoint layer hooks here; the hook must not mutate the world.
+	OnDayEnd func(d simclock.Day)
+
 	Data *Dataset
 }
 

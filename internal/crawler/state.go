@@ -1,0 +1,126 @@
+package crawler
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// This file exports and restores the crawler's mutable state for durable
+// checkpoints. The verdict cache is state, not memoisation: whether a
+// domain is re-fetched depends on when it was last checked, so a resumed
+// run must see exactly the cache the interrupted run had. Likewise the
+// circuit breakers — an open breaker short-circuits fetches, and losing it
+// would change which requests reach the fault layer.
+
+// CachedVerdict is one serialized verdict-cache entry.
+type CachedVerdict struct {
+	Domain  string
+	Verdict Verdict
+}
+
+// CrawlerState is the crawler's complete mutable state.
+type CrawlerState struct {
+	Entries []CachedVerdict // sorted by Domain
+	Fetches int64
+}
+
+// ExportCache captures the verdict cache across all shards. Safe to call
+// when no checks are in flight (the day pipeline is quiescent between
+// days).
+func (c *Crawler) ExportCache() CrawlerState {
+	st := CrawlerState{Fetches: c.fetches.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		doms := make([]string, 0, len(sh.cache))
+		for dom := range sh.cache {
+			doms = append(doms, dom)
+		}
+		sort.Strings(doms)
+		for _, dom := range doms {
+			st.Entries = append(st.Entries, CachedVerdict{Domain: dom, Verdict: sh.cache[dom]})
+		}
+		sh.mu.Unlock()
+	}
+	// Shards partition by hash, so per-shard order is not global order.
+	sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].Domain < st.Entries[j].Domain })
+	return st
+}
+
+// RestoreCache overwrites the verdict cache with a previously exported
+// snapshot.
+func (c *Crawler) RestoreCache(st CrawlerState) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.cache = nil
+		sh.mu.Unlock()
+	}
+	for _, e := range st.Entries {
+		sh := c.shard(e.Domain)
+		sh.mu.Lock()
+		if sh.cache == nil {
+			sh.cache = make(map[string]Verdict)
+		}
+		sh.cache[e.Domain] = e.Verdict
+		sh.mu.Unlock()
+	}
+	c.fetches.Store(st.Fetches)
+}
+
+// BreakerState is one domain's serialized circuit-breaker state.
+type BreakerState struct {
+	Domain   string
+	CurDay   simclock.Day
+	DayFail  int
+	DaySucc  int
+	FailDays int
+	Open     bool
+	OpenedOn simclock.Day
+}
+
+// ResilientState is the resilient fetcher's complete mutable state.
+type ResilientState struct {
+	Breakers []BreakerState // sorted by Domain
+	Stats    FetchStats
+}
+
+// ExportState captures the fetcher's breakers and workload accounting.
+func (rf *ResilientFetcher) ExportState() ResilientState {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	st := ResilientState{Stats: rf.stats}
+	for dom, br := range rf.breakers {
+		st.Breakers = append(st.Breakers, BreakerState{
+			Domain:   dom,
+			CurDay:   br.curDay,
+			DayFail:  br.dayFail,
+			DaySucc:  br.daySucc,
+			FailDays: br.failDays,
+			Open:     br.open,
+			OpenedOn: br.openedOn,
+		})
+	}
+	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].Domain < st.Breakers[j].Domain })
+	return st
+}
+
+// RestoreState overwrites the fetcher's breakers and accounting. The retry
+// policy and jitter seed are wiring rebuilt from config and study seed.
+func (rf *ResilientFetcher) RestoreState(st ResilientState) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	rf.stats = st.Stats
+	rf.breakers = make(map[string]*breaker, len(st.Breakers))
+	for _, bs := range st.Breakers {
+		rf.breakers[bs.Domain] = &breaker{
+			curDay:   bs.CurDay,
+			dayFail:  bs.DayFail,
+			daySucc:  bs.DaySucc,
+			failDays: bs.FailDays,
+			open:     bs.Open,
+			openedOn: bs.OpenedOn,
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"errors"
+	"hash/fnv"
+)
+
+// Disk-fault injection for the checkpoint write protocol.
+//
+// The checkpoint layer's durability claim — a crash at ANY point of the
+// write protocol leaves a loadable previous snapshot — is tested, not
+// assumed. A DiskPlan injects deterministic "crashes" at the protocol's
+// kill points (create, write, fsync, close, rename, dirsync): the writer
+// consults CrashAt before each step and, on a hit, abandons the protocol
+// mid-step exactly as a killed process would, leaving whatever partial
+// state the real crash would leave.
+//
+// Decisions follow the package's determinism contract: a pure hash of the
+// plan seed and the operation's own attributes, never a draw from shared
+// state, so a crash schedule replays identically on every run.
+
+// ErrInjectedCrash is returned by a checkpoint write the DiskPlan killed
+// mid-protocol. The caller treats it like any other save failure: the
+// previous snapshot remains the latest good one.
+var ErrInjectedCrash = errors.New("faults: injected crash during checkpoint write")
+
+// DiskPlan schedules deterministic crashes for checkpoint writes. The zero
+// value and a nil plan never crash.
+type DiskPlan struct {
+	seed uint64
+	rate float64
+	ops  map[string]bool // nil = every op eligible
+}
+
+// NewDiskPlan returns a plan that crashes each eligible (op, key) with the
+// given probability. If ops are listed, only those operations are
+// eligible; otherwise every kill point is.
+func NewDiskPlan(seed uint64, rate float64, ops ...string) *DiskPlan {
+	p := &DiskPlan{seed: seed, rate: rate}
+	if len(ops) > 0 {
+		p.ops = make(map[string]bool, len(ops))
+		for _, op := range ops {
+			p.ops[op] = true
+		}
+	}
+	return p
+}
+
+// CrashAt reports whether the plan kills the process at kill point op for
+// the given key (typically the checkpoint file name). Nil-safe.
+func (p *DiskPlan) CrashAt(op, key string) bool {
+	if p == nil || p.rate <= 0 {
+		return false
+	}
+	if p.ops != nil && !p.ops[op] {
+		return false
+	}
+	return diskRoll(p.seed, op, key) < p.rate
+}
+
+// diskRoll is Plan.roll for disk decisions: the same seeded pure-hash coin,
+// finalized with mix64 for full avalanche.
+func diskRoll(seed uint64, op, key string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte("disk/" + op))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return float64(mix64(h.Sum64())>>11) / (1 << 53)
+}

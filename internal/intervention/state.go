@@ -1,0 +1,216 @@
+package intervention
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// This file exports and restores the interveners' mutable state for durable
+// checkpoints. The firm roster and case schedule are rebuilt
+// deterministically by the constructors; the RNG position, filed cases,
+// pending reactions and the labeler's observation counters are what a run
+// mutates and what is captured here.
+
+// DomainDay pairs a domain with a day, for serialized day-keyed maps.
+type DomainDay struct {
+	Domain string
+	Day    simclock.Day
+}
+
+// DomainCount pairs a domain with an observation tally.
+type DomainCount struct {
+	Domain string
+	Count  int
+}
+
+// LabelerState is the labeler's complete mutable state.
+type LabelerState struct {
+	FirstSeen []DomainDay // all sorted by Domain
+	RootSeen  []DomainDay
+	ArmedOn   []DomainDay
+	ObsTotal  []DomainCount
+	ObsRoot   []DomainCount
+	Demoted   []string
+}
+
+func sortedDomainDays(m map[string]simclock.Day) []DomainDay {
+	out := make([]DomainDay, 0, len(m))
+	for dom, d := range m {
+		out = append(out, DomainDay{Domain: dom, Day: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+func sortedDomainCounts(m map[string]int) []DomainCount {
+	out := make([]DomainCount, 0, len(m))
+	for dom, n := range m {
+		out = append(out, DomainCount{Domain: dom, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// ExportState captures the labeler's mutable state.
+func (l *Labeler) ExportState() LabelerState {
+	st := LabelerState{
+		FirstSeen: sortedDomainDays(l.firstSeen),
+		RootSeen:  sortedDomainDays(l.rootSeen),
+		ArmedOn:   sortedDomainDays(l.armedOn),
+		ObsTotal:  sortedDomainCounts(l.obsTotal),
+		ObsRoot:   sortedDomainCounts(l.obsRoot),
+	}
+	for dom := range l.demoted {
+		st.Demoted = append(st.Demoted, dom)
+	}
+	sort.Strings(st.Demoted)
+	return st
+}
+
+// RestoreState overwrites the labeler's mutable state. The policy knobs
+// (LabelProb, delays, mass-event shares) are configuration, not state, and
+// are left untouched.
+func (l *Labeler) RestoreState(st LabelerState) {
+	l.firstSeen = make(map[string]simclock.Day, len(st.FirstSeen))
+	for _, dd := range st.FirstSeen {
+		l.firstSeen[dd.Domain] = dd.Day
+	}
+	l.rootSeen = make(map[string]simclock.Day, len(st.RootSeen))
+	for _, dd := range st.RootSeen {
+		l.rootSeen[dd.Domain] = dd.Day
+	}
+	l.armedOn = make(map[string]simclock.Day, len(st.ArmedOn))
+	for _, dd := range st.ArmedOn {
+		l.armedOn[dd.Domain] = dd.Day
+	}
+	l.obsTotal = make(map[string]int, len(st.ObsTotal))
+	for _, dc := range st.ObsTotal {
+		l.obsTotal[dc.Domain] = dc.Count
+	}
+	l.obsRoot = make(map[string]int, len(st.ObsRoot))
+	for _, dc := range st.ObsRoot {
+		l.obsRoot[dc.Domain] = dc.Count
+	}
+	l.demoted = make(map[string]bool, len(st.Demoted))
+	for _, dom := range st.Demoted {
+		l.demoted[dom] = true
+	}
+}
+
+// CaseState is one serialized court case. The firm is carried by key and
+// resolved against the engine's roster on restore.
+type CaseState struct {
+	ID               string
+	FirmKey          string
+	Brand            string
+	Day              simclock.Day
+	Domains          []string
+	ObservedStoreIDs []string
+}
+
+// PendingReaction is one queued campaign reaction, carried by store ID.
+type PendingReaction struct {
+	Day     simclock.Day
+	StoreID string
+}
+
+// StoreDay pairs a store ID with a day.
+type StoreDay struct {
+	StoreID string
+	Day     simclock.Day
+}
+
+// FirmSeq records a firm's case-numbering counter.
+type FirmSeq struct {
+	Key string
+	Seq int
+}
+
+// SeizureState is the seizure engine's complete mutable state.
+type SeizureState struct {
+	RNG          [4]uint64
+	FirstVisible []StoreDay // sorted by StoreID
+	Seq          []FirmSeq  // sorted by Key
+	Cases        []CaseState
+	Pending      []PendingReaction
+}
+
+// ExportState captures the seizure engine's mutable state. The schedule is
+// laid out deterministically by the constructor and is not part of it.
+func (e *SeizureEngine) ExportState() SeizureState {
+	st := SeizureState{RNG: e.r.State()}
+	for id, d := range e.FirstVisible {
+		st.FirstVisible = append(st.FirstVisible, StoreDay{StoreID: id, Day: d})
+	}
+	sort.Slice(st.FirstVisible, func(i, j int) bool { return st.FirstVisible[i].StoreID < st.FirstVisible[j].StoreID })
+	for k, n := range e.seq {
+		st.Seq = append(st.Seq, FirmSeq{Key: k, Seq: n})
+	}
+	sort.Slice(st.Seq, func(i, j int) bool { return st.Seq[i].Key < st.Seq[j].Key })
+	for _, c := range e.cases {
+		st.Cases = append(st.Cases, CaseState{
+			ID:               c.ID,
+			FirmKey:          c.Firm.Key,
+			Brand:            c.Brand,
+			Day:              c.Day,
+			Domains:          append([]string(nil), c.Domains...),
+			ObservedStoreIDs: append([]string(nil), c.ObservedStoreIDs...),
+		})
+	}
+	for _, p := range e.pending {
+		st.Pending = append(st.Pending, PendingReaction{Day: p.day, StoreID: p.st.ID()})
+	}
+	return st
+}
+
+// RestoreState overwrites the seizure engine's mutable state, replacing the
+// constructor-materialised case log wholesale. Firms are resolved by key
+// and stores by ID against the engine's roster; an unresolvable reference
+// means the snapshot belongs to a different study and is an error.
+func (e *SeizureEngine) RestoreState(st SeizureState) error {
+	firmByKey := make(map[string]*Firm, len(e.firms))
+	for _, f := range e.firms {
+		firmByKey[f.Key] = f
+	}
+	storeByID := make(map[string]int, len(e.stores))
+	for i, s := range e.stores {
+		storeByID[s.ID()] = i
+	}
+	cases := make([]*CourtCase, 0, len(st.Cases))
+	for _, cs := range st.Cases {
+		f := firmByKey[cs.FirmKey]
+		if f == nil {
+			return fmt.Errorf("intervention: snapshot case %s references unknown firm %q", cs.ID, cs.FirmKey)
+		}
+		cases = append(cases, &CourtCase{
+			ID:               cs.ID,
+			Firm:             f,
+			Brand:            cs.Brand,
+			Day:              cs.Day,
+			Domains:          append([]string(nil), cs.Domains...),
+			ObservedStoreIDs: append([]string(nil), cs.ObservedStoreIDs...),
+		})
+	}
+	pending := make([]reaction, 0, len(st.Pending))
+	for _, p := range st.Pending {
+		idx, ok := storeByID[p.StoreID]
+		if !ok {
+			return fmt.Errorf("intervention: snapshot reaction references unknown store %q", p.StoreID)
+		}
+		pending = append(pending, reaction{day: p.Day, st: e.stores[idx]})
+	}
+	e.r.Restore(st.RNG)
+	e.cases = cases
+	e.pending = pending
+	e.FirstVisible = make(map[string]simclock.Day, len(st.FirstVisible))
+	for _, sd := range st.FirstVisible {
+		e.FirstVisible[sd.StoreID] = sd.Day
+	}
+	e.seq = make(map[string]int, len(st.Seq))
+	for _, fs := range st.Seq {
+		e.seq[fs.Key] = fs.Seq
+	}
+	return nil
+}

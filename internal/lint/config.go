@@ -106,6 +106,13 @@ func DefaultScope() *Scope {
 			"repro/internal/parallel.ForEach":                      true,
 			"repro/internal/parallel.ForEachObserved":              true,
 			"repro/internal/parallel.Map":                          true,
+			// The checkpoint manager does disk I/O and times it by design;
+			// it runs strictly at day boundaries, after the day's state has
+			// committed, and writes never feed back into the simulation —
+			// the resume tests prove a checkpointed study's fingerprint
+			// bit-identical to an uninterrupted one.
+			"(*repro/internal/checkpoint.Manager).Save": true,
+			"(*repro/internal/checkpoint.Manager).Load": true,
 		},
 	}
 }

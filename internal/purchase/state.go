@@ -1,0 +1,78 @@
+package purchase
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// This file exports and restores the sampler's mutable state for durable
+// checkpoints: the per-store order-number samples, the visit cadence
+// cursors, and the per-campaign daily caps.
+
+// SeriesState is one store's serialized sample series.
+type SeriesState struct {
+	StoreID string
+	Samples []Sample
+}
+
+// StoreDay pairs a store ID with its last visit day.
+type StoreDay struct {
+	StoreID string
+	Day     simclock.Day
+}
+
+// CampaignCount pairs a campaign key with its orders placed today.
+type CampaignCount struct {
+	Key   string
+	Count int
+}
+
+// SamplerState is the sampler's complete mutable state.
+type SamplerState struct {
+	Series    []SeriesState // sorted by StoreID
+	LastVisit []StoreDay    // sorted by StoreID
+	Today     []CampaignCount
+	TodayDay  simclock.Day
+	Created   int
+	Failed    int
+}
+
+// ExportState captures the sampler's mutable state.
+func (sm *Sampler) ExportState() SamplerState {
+	st := SamplerState{TodayDay: sm.todayDay, Created: sm.Created, Failed: sm.Failed}
+	for id, s := range sm.series {
+		st.Series = append(st.Series, SeriesState{StoreID: id, Samples: append([]Sample(nil), s.Samples...)})
+	}
+	sort.Slice(st.Series, func(i, j int) bool { return st.Series[i].StoreID < st.Series[j].StoreID })
+	for id, d := range sm.lastVisit {
+		st.LastVisit = append(st.LastVisit, StoreDay{StoreID: id, Day: d})
+	}
+	sort.Slice(st.LastVisit, func(i, j int) bool { return st.LastVisit[i].StoreID < st.LastVisit[j].StoreID })
+	for k, n := range sm.today {
+		st.Today = append(st.Today, CampaignCount{Key: k, Count: n})
+	}
+	sort.Slice(st.Today, func(i, j int) bool { return st.Today[i].Key < st.Today[j].Key })
+	return st
+}
+
+// RestoreState overwrites the sampler's mutable state. Cadence
+// configuration (IntervalDays, MaxPerCampaignPerDay) and the fetcher are
+// wiring, not state, and are left untouched.
+func (sm *Sampler) RestoreState(st SamplerState) {
+	sm.series = make(map[string]*Series, len(st.Series))
+	for _, ss := range st.Series {
+		sm.series[ss.StoreID] = &Series{StoreID: ss.StoreID, Samples: append([]Sample(nil), ss.Samples...)}
+	}
+	sm.lastVisit = make(map[string]simclock.Day, len(st.LastVisit))
+	for _, sd := range st.LastVisit {
+		sm.lastVisit[sd.StoreID] = sd.Day
+	}
+	sm.today = make(map[string]int, len(st.Today))
+	for _, cc := range st.Today {
+		sm.today[cc.Key] = cc.Count
+	}
+	sm.todayDay = st.TodayDay
+	sm.Created = st.Created
+	sm.Failed = st.Failed
+}

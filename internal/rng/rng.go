@@ -41,6 +41,20 @@ func (r *Source) Sub(name string) *Source {
 	return New(r.s[0] ^ h.Sum64())
 }
 
+// State returns the raw xoshiro256** state, for checkpointing. Restoring
+// the same words with Restore resumes the stream at exactly this position.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Restore overwrites the source state with words previously obtained from
+// State. An all-zero state is invalid for xoshiro256** and is rejected by
+// leaving the source unchanged.
+func (r *Source) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	s := &r.s

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// This file exports and restores a store's mutable runtime state for
+// durable checkpoints. The deployment wiring and processor identity are
+// rebuilt deterministically from the study seed; everything the run mutates
+// — order counter, domain epochs, seizures, analytics — is captured here.
+
+// SeizedDomain records one seized domain and the day it fell.
+type SeizedDomain struct {
+	Domain string
+	Day    simclock.Day
+}
+
+// Referrer is one referrer-attribution tally.
+type Referrer struct {
+	Domain string
+	Count  int
+}
+
+// State is a store's complete mutable state.
+type State struct {
+	ID                string
+	ProcessorDownFrom simclock.Day
+	NextOrder         int64
+	Epochs            []Epoch
+	Seized            []SeizedDomain // sorted by Domain
+	Visits            []float64
+	PageViews         []float64
+	Orders            []float64
+	Referrers         []Referrer // sorted by Domain
+}
+
+// ExportState captures the store's mutable state.
+func (s *Store) ExportState() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{
+		ID:                s.Dep.ID,
+		ProcessorDownFrom: s.processorDownFrom,
+		NextOrder:         s.nextOrder,
+		Epochs:            append([]Epoch(nil), s.epochs...),
+		Visits:            append([]float64(nil), s.visits...),
+		PageViews:         append([]float64(nil), s.pageViews...),
+		Orders:            append([]float64(nil), s.orders...),
+	}
+	for dom, d := range s.seized {
+		st.Seized = append(st.Seized, SeizedDomain{Domain: dom, Day: d})
+	}
+	sort.Slice(st.Seized, func(i, j int) bool { return st.Seized[i].Domain < st.Seized[j].Domain })
+	for dom, n := range s.referrers {
+		st.Referrers = append(st.Referrers, Referrer{Domain: dom, Count: n})
+	}
+	sort.Slice(st.Referrers, func(i, j int) bool { return st.Referrers[i].Domain < st.Referrers[j].Domain })
+	return st
+}
+
+// RestoreState overwrites the store's mutable state with a previously
+// exported snapshot. The snapshot must belong to this store and match the
+// study's day count.
+func (s *Store) RestoreState(st State) error {
+	if st.ID != s.Dep.ID {
+		return fmt.Errorf("store: snapshot for %q applied to %q", st.ID, s.Dep.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(st.Visits) != len(s.visits) || len(st.PageViews) != len(s.pageViews) || len(st.Orders) != len(s.orders) {
+		return fmt.Errorf("store %s: snapshot analytics span %d/%d/%d days, store has %d",
+			st.ID, len(st.Visits), len(st.PageViews), len(st.Orders), len(s.visits))
+	}
+	if len(st.Epochs) == 0 {
+		return fmt.Errorf("store %s: snapshot has no domain epochs", st.ID)
+	}
+	s.processorDownFrom = st.ProcessorDownFrom
+	s.nextOrder = st.NextOrder
+	s.epochs = append([]Epoch(nil), st.Epochs...)
+	s.seized = make(map[string]simclock.Day, len(st.Seized))
+	for _, sd := range st.Seized {
+		s.seized[sd.Domain] = sd.Day
+	}
+	copy(s.visits, st.Visits)
+	copy(s.pageViews, st.PageViews)
+	copy(s.orders, st.Orders)
+	s.referrers = make(map[string]int, len(st.Referrers))
+	for _, ref := range st.Referrers {
+		s.referrers[ref.Domain] = ref.Count
+	}
+	return nil
+}

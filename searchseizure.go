@@ -29,14 +29,17 @@ package searchseizure
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/faults"
+	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
 
@@ -89,6 +92,9 @@ type studyOptions struct {
 	profile   string
 	profSet   bool
 	logger    *log.Logger
+	ckptDir   string
+	ckptEvery int
+	ckptSet   bool
 }
 
 // WithTelemetry attaches a telemetry registry to the study: the day
@@ -127,13 +133,36 @@ func WithLogger(l *log.Logger) Option {
 	}
 }
 
+// WithCheckpoint enables durable day-boundary snapshots under dir: every
+// `every` days (and at completion) the study's full resumable state is
+// written atomically, and a new Study over the same dir auto-recovers from
+// the newest good snapshot before its first RunContext, converging to the
+// bit-identical fingerprint of an uninterrupted run. every <= 0 means every
+// day. Corrupt or torn snapshots are detected by checksum and skipped in
+// favour of the previous one. The snapshot is bound to the simulation-
+// shaping config (a hash mismatch surfaces as an error from RunContext);
+// telemetry and worker counts may differ across resume.
+func WithCheckpoint(dir string, every int) Option {
+	return func(o *studyOptions) error {
+		if dir == "" {
+			return errors.New("checkpoint directory must be non-empty")
+		}
+		o.ckptDir = dir
+		o.ckptEvery = every
+		o.ckptSet = true
+		return nil
+	}
+}
+
 // Study is one end-to-end run: a simulated world plus the measurement
 // dataset collected from it.
 type Study struct {
 	World *core.World
 	Data  *core.Dataset
 
-	log *log.Logger
+	log       *log.Logger
+	ckpt      *checkpoint.Manager
+	recovered bool
 }
 
 // New builds the world for a configuration. Building trains the campaign
@@ -170,6 +199,17 @@ func New(cfg Config, opts ...Option) (*Study, error) {
 		s.log.Printf("searchseizure: world ready (%d stores, %d sim days, classifier CV accuracy %.3f)",
 			len(s.World.Stores), s.World.Sim.Days(), s.World.CVAccuracy)
 	}
+	if o.ckptSet {
+		mgr, err := checkpoint.NewManager(checkpoint.Options{
+			Dir:       o.ckptDir,
+			Every:     o.ckptEvery,
+			Telemetry: cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("searchseizure: %w", err)
+		}
+		s.ckpt = mgr
+	}
 	return s, nil
 }
 
@@ -199,6 +239,9 @@ func (s *Study) RunContext(ctx context.Context) (*core.Dataset, error) {
 	if s.Data != nil {
 		return s.Data, nil
 	}
+	if err := s.attachCheckpoints(); err != nil {
+		return nil, err
+	}
 	if s.log != nil {
 		s.log.Printf("searchseizure: run starting (%d days)", s.World.Sim.Days())
 	}
@@ -215,6 +258,69 @@ func (s *Study) RunContext(ctx context.Context) (*core.Dataset, error) {
 	}
 	s.Data = data
 	return data, nil
+}
+
+// Recover performs checkpoint auto-recovery now instead of lazily inside
+// the first RunContext: the newest good snapshot (if any) is restored and
+// the save cadence is hooked into the day pipeline. Idempotent, and a
+// no-op without WithCheckpoint. Servers use it to declare readiness only
+// after recovery has completed.
+func (s *Study) Recover() error { return s.attachCheckpoints() }
+
+// attachCheckpoints recovers from the newest good snapshot (once, before
+// the first day runs) and hooks the save cadence into the day pipeline.
+// A checkpoint-less study is a no-op here.
+func (s *Study) attachCheckpoints() error {
+	if s.ckpt == nil || s.recovered {
+		return nil
+	}
+	s.recovered = true
+	w, mgr := s.World, s.ckpt
+	snap, err := mgr.Load()
+	switch {
+	case errors.Is(err, checkpoint.ErrNoCheckpoint):
+		// Fresh directory: start from day 0.
+	case err != nil:
+		// Every file present was damaged. The damage is counted in
+		// telemetry and the study restarts from day 0 — losing progress,
+		// never correctness.
+		if s.log != nil {
+			s.log.Printf("searchseizure: no loadable checkpoint, starting fresh: %v", err)
+		}
+	default:
+		if rerr := w.RestoreSnapshot(snap); rerr != nil {
+			return fmt.Errorf("searchseizure: checkpoint restore: %w", rerr)
+		}
+		if s.log != nil {
+			s.log.Printf("searchseizure: resumed from checkpoint at day %d/%d",
+				snap.NextDay, w.Sim.Days())
+		}
+	}
+	prev := w.OnDayEnd
+	w.OnDayEnd = func(d simclock.Day) {
+		if prev != nil {
+			prev(d)
+		}
+		if !mgr.Due(int(d)) && int(d)+1 != w.Sim.Days() {
+			return
+		}
+		if serr := mgr.Save(w.Snapshot()); serr != nil && s.log != nil {
+			s.log.Printf("searchseizure: checkpoint save after day %d failed: %v", d, serr)
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a snapshot immediately, regardless of cadence. The
+// study must be quiescent — before RunContext, or after it returned (a
+// cancelled RunContext stops on a day boundary, so a cancel-then-Checkpoint
+// shutdown sequence is always coherent). Returns an error if the study was
+// built without WithCheckpoint.
+func (s *Study) Checkpoint() error {
+	if s.ckpt == nil {
+		return errors.New("searchseizure: study has no checkpoint directory (use WithCheckpoint)")
+	}
+	return s.ckpt.Save(s.World.Snapshot())
 }
 
 // Run executes the full longitudinal study (idempotent: subsequent calls
