@@ -23,10 +23,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -43,6 +47,7 @@ import (
 	"repro/internal/lint/load"
 	"repro/internal/rng"
 	"repro/internal/simclock"
+	"repro/internal/studysvc"
 	"repro/internal/telemetry"
 )
 
@@ -84,6 +89,14 @@ type metrics struct {
 	// code's cost.
 	CheckpointSaveMs float64 `json:"checkpoint_save_ms"`
 	CheckpointLoadMs float64 `json:"checkpoint_load_ms"`
+	// APILaunchMs times one POST /v1/studies round trip through the
+	// service plane (spec validation, world build, spec persistence).
+	// Recorded, not ratcheted: dominated by the world build.
+	APILaunchMs float64 `json:"api_launch_ms"`
+	// SerpReqP99Us is the p99 of the API's simulated-web route under a
+	// serial drive, read from the service registry's own histogram.
+	// Recorded, not ratcheted.
+	SerpReqP99Us float64 `json:"serp_req_p99_us"`
 }
 
 // report is the file's top-level shape.
@@ -438,6 +451,78 @@ func main() {
 	rep.Metrics.CheckpointLoadMs = float64(time.Since(loadStart).Microseconds()) / 1000
 	fmt.Fprintf(os.Stderr, "%-28s save %.1fms load %.1fms\n", "checkpoint cycle",
 		rep.Metrics.CheckpointSaveMs, rep.Metrics.CheckpointLoadMs)
+
+	// Service-plane numbers: launch one miniature study through the real
+	// POST /v1/studies handler and drive its simulated-web route; the
+	// latency histogram comes from the service's own telemetry registry.
+	svcDir, err := os.MkdirTemp("", "benchjson-svc-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(svcDir)
+	svcReg := telemetry.New()
+	svcMgr, err := studysvc.NewManager(studysvc.Options{
+		BaseDir: svcDir, Budget: runtime.NumCPU(), MaxActive: 2, Telemetry: svcReg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	svcSrv := httptest.NewServer(svcMgr.Handler())
+	noTail := false
+	specRaw, _ := json.Marshal(searchseizure.StudySpec{
+		Seed: 1, Days: 1, TermsPerVertical: 3, SlotsPerTerm: 20,
+		ExtendedTail: &noTail, CheckpointEvery: 50,
+	})
+	launchStart := time.Now()
+	resp, err := http.Post(svcSrv.URL+"/v1/studies", "application/json", bytes.NewReader(specRaw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	rep.Metrics.APILaunchMs = float64(time.Since(launchStart).Microseconds()) / 1000
+	var launched struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&launched); err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	resp.Body.Close()
+	dresp, err := http.Get(svcSrv.URL + "/v1/studies/" + launched.ID + "/domains?limit=1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	var doms struct {
+		Domains []string `json:"domains"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&doms); err != nil || len(doms.Domains) == 0 {
+		fmt.Fprintln(os.Stderr, "service timing: no domains:", err)
+		os.Exit(1)
+	}
+	dresp.Body.Close()
+	serpURL := fmt.Sprintf("%s/v1/studies/%s/web/?simhost=%s&u=/", svcSrv.URL, launched.ID, doms.Domains[0])
+	for i := 0; i < 500; i++ {
+		wr, err := http.Get(serpURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service timing:", err)
+			os.Exit(1)
+		}
+		io.Copy(io.Discard, wr.Body)
+		wr.Body.Close()
+	}
+	rep.Metrics.SerpReqP99Us = svcReg.Snapshot().Histograms["api_req_serp_us"].Quantile(0.99)
+	fmt.Fprintf(os.Stderr, "%-28s launch %.1fms serp p99 %.0fus\n", "service plane",
+		rep.Metrics.APILaunchMs, rep.Metrics.SerpReqP99Us)
+	shCtx, shCancel := context.WithTimeout(context.Background(), time.Minute)
+	if err := svcMgr.Shutdown(shCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "service timing:", err)
+		os.Exit(1)
+	}
+	shCancel()
+	svcSrv.Close()
 
 	snap := reg.Snapshot()
 	rep.Telemetry = &snap

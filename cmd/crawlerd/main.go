@@ -1,10 +1,23 @@
-// Command crawlerd demonstrates the measurement pipeline over a real
-// network socket: it builds a simulated world, serves its web over HTTP on
-// localhost, then points the Dagger/VanGogh crawler at it through the
-// HTTP fetcher and prints what the crawl finds.
+// Command crawlerd serves the study-service plane and demonstrates the
+// measurement pipeline over a real network socket.
+//
+// Service mode (-data-dir) is the primary face: a versioned JSON API
+// (/v1/studies, see internal/studysvc) runs many concurrent studies —
+// each with its own seed, fault profile, checkpoint directory and
+// telemetry registry — over one shared worker budget, recovers the whole
+// fleet from disk on boot, and drains gracefully on SIGTERM (every study
+// stops at its day boundary and writes a final checkpoint).
+//
+// The legacy single-study modes remain: -checkpoint runs one checkpointed
+// study; the default mode builds one world, serves its web, and crawls it.
+// All three modes resolve their configuration through the same validated
+// searchseizure.StudySpec that POST /v1/studies accepts, so a flag
+// combination the API would reject is rejected identically at the CLI.
 //
 // Usage:
 //
+//	crawlerd -data-dir /var/lib/searchseizure [-budget 8] [-max-active 2]
+//	crawlerd -checkpoint DIR [-checkpoint-every 1] [-faults off]
 //	crawlerd [-addr 127.0.0.1:0] [-day 30] [-max 200] [-serve-only] [-faults off]
 //
 // With -serve-only it just serves the web (useful for poking at doorways
@@ -48,6 +61,7 @@ import (
 	"repro/internal/searchsim"
 	"repro/internal/simclock"
 	"repro/internal/simweb"
+	"repro/internal/studysvc"
 	"repro/internal/telemetry"
 
 	"repro/internal/brands"
@@ -136,14 +150,73 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout 
 	return nil
 }
 
-// runStudyMode runs the full longitudinal study with durable checkpoints
+// runServiceMode is the study-service plane: the versioned /v1 JSON API
+// over a studysvc.Manager, with the admin endpoints mounted ahead of it.
+// On boot every study a previous process persisted under dataDir is
+// recovered and resumed before /readyz turns 200; SIGTERM cancels the
+// fleet at day boundaries, waits for final checkpoints, then drains the
+// listener.
+func runServiceMode(reg *telemetry.Registry, addr, dataDir string, budget, maxActive int) error {
+	m, err := studysvc.NewManager(studysvc.Options{
+		BaseDir:   dataDir,
+		Budget:    budget,
+		MaxActive: maxActive,
+		Telemetry: reg,
+		Logger:    log.New(os.Stdout, "", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("study service on %s\n", base)
+	fmt.Printf("api: POST %s/v1/studies, GET %s/v1/studies\n", base, base)
+	fmt.Printf("admin: %s/healthz, %s/readyz, %s/metrics\n", base, base, base)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var ready atomic.Bool
+	srv := newServer(adminHandler(reg, &ready, m.Handler()))
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln, 10*time.Second) }()
+
+	recovered, err := m.RecoverAll()
+	if err != nil {
+		return err
+	}
+	if len(recovered) > 0 {
+		fmt.Printf("recovered %d studies from %s\n", len(recovered), dataDir)
+	}
+	ready.Store(true)
+
+	<-ctx.Done()
+	fmt.Println("draining: cancelling studies at their day boundaries...")
+	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := m.Shutdown(shCtx); err != nil {
+		return err
+	}
+	stop()
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Println("drained, bye")
+	return nil
+}
+
+// runStudyMode runs one full longitudinal study with durable checkpoints
 // while serving the admin plane (and the simulated web) on addr. On boot it
 // auto-recovers from the newest good snapshot before declaring /readyz; a
 // SIGTERM/SIGINT stops the run at the next day boundary and writes a final
 // checkpoint, so the next boot resumes exactly where this one drained.
-func runStudyMode(cfg core.Config, reg *telemetry.Registry, addr, dir string, every int) error {
+func runStudyMode(spec searchseizure.StudySpec, reg *telemetry.Registry, addr, dir string, every int) error {
 	fmt.Println("building simulated world...")
-	s, err := searchseizure.New(cfg,
+	s, err := searchseizure.NewFromSpec(spec,
+		searchseizure.WithTelemetry(reg),
 		searchseizure.WithCheckpoint(dir, every),
 		searchseizure.WithLogger(log.New(os.Stdout, "", log.LstdFlags)))
 	if err != nil {
@@ -196,32 +269,54 @@ func main() {
 		day       = flag.Int("day", 30, "simulation day to crawl")
 		maxDom    = flag.Int("max", 200, "max domains to crawl")
 		serveOnly = flag.Bool("serve-only", false, "serve the simulated web and wait")
-		ckptDir   = flag.String("checkpoint", "", "checkpoint directory: run the full study with durable day snapshots, auto-recovering on boot")
+		ckptDir   = flag.String("checkpoint", "", "checkpoint directory: run one full study with durable day snapshots, auto-recovering on boot")
 		ckptEvery = flag.Int("checkpoint-every", 1, "days between checkpoints (with -checkpoint)")
+		dataDir   = flag.String("data-dir", "", "service data directory: run the multi-tenant /v1 study API, recovering persisted studies on boot")
+		budget    = flag.Int("budget", 0, "total simulation worker budget shared across studies (with -data-dir; 0 = GOMAXPROCS)")
+		maxActive = flag.Int("max-active", 2, "max studies executing a day concurrently (with -data-dir)")
 	)
 	shared := cli.RegisterStudyFlags(flag.CommandLine, 1, true)
 	flag.Parse()
-
-	faultCfg, err := shared.Faults()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	reg := shared.Registry()
 
-	cfg := core.TestConfig()
-	cfg.ExtendedTail = false
-	cfg.Faults = faultCfg
-	cfg.Seed = shared.Seed()
-	cfg.Telemetry = reg
-
-	if *ckptDir != "" {
-		if err := runStudyMode(cfg, reg, *addr, *ckptDir, *ckptEvery); err != nil {
+	if *dataDir != "" {
+		if err := runServiceMode(reg, *addr, *dataDir, *budget, *maxActive); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
+
+	// The single-study modes go through the same validated StudySpec as
+	// POST /v1/studies: a flag combination the API rejects (an unknown
+	// -faults profile, say) is rejected identically here, with the same
+	// field-level codes.
+	noTail := false
+	spec := searchseizure.StudySpec{
+		Preset:       "test",
+		Seed:         int64(shared.Seed()),
+		Faults:       shared.FaultProfileName(),
+		ExtendedTail: &noTail,
+	}
+	if verr := spec.Validate(); verr != nil {
+		fmt.Fprintln(os.Stderr, verr)
+		os.Exit(2)
+	}
+
+	if *ckptDir != "" {
+		if err := runStudyMode(spec, reg, *addr, *ckptDir, *ckptEvery); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Telemetry = reg
+	faultCfg := cfg.Faults
 	fmt.Println("building simulated world...")
 	w := core.NewWorld(cfg)
 	w.Engine.Advance(simclock.Day(*day))

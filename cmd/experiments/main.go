@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -94,6 +95,15 @@ func main() {
 	}
 	tbl, err := study.Experiment(*run)
 	if err != nil {
+		// Unknown ids are a typed error: answer with the registry instead
+		// of making the user re-run with -list.
+		if errors.Is(err, searchseizure.ErrUnknownExperiment) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *run)
+			for _, e := range study.ListExperiments() {
+				fmt.Fprintf(os.Stderr, "  %-13s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

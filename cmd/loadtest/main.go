@@ -1,0 +1,297 @@
+// Command loadtest drives a running crawlerd study service (-data-dir
+// mode) hard: it launches a fleet of tenant studies over POST /v1/studies,
+// then sustains thousands of concurrent in-flight requests against the
+// status, listing, experiment-registry and simulated-web routes for a
+// fixed duration, measuring everything client-side with the repo's own
+// telemetry histograms — no new metrics machinery.
+//
+// Failure discrimination is strict: the /v1 API surface sits outside the
+// fault-injection layer, so ANY 5xx or transport error there fails the
+// run. Only the per-study web route is faulted, and its injected 502s
+// carry the "(injected)" body marker; those (and web-route connection
+// drops/truncations, which only injection produces on loopback) are
+// counted separately and do not fail the run.
+//
+// Usage:
+//
+//	loadtest -base http://127.0.0.1:8080 [-studies 8] [-faults moderate]
+//	         [-inflight 1200] [-duration 30s] [-min-inflight 1000]
+//	         [-p99-max 250ms] [-out loadtest.json]
+//
+// The JSON report carries request totals, req/s, the max observed
+// in-flight gauge, per-route p50/p99 latencies and the full histogram
+// snapshot. Exit status is non-zero when the run violates its bounds:
+// a non-injected 5xx, an API transport error, max in-flight below
+// -min-inflight, or a status-route p99 above -p99-max.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	searchseizure "repro"
+	"repro/internal/studysvc"
+	"repro/internal/telemetry"
+)
+
+// target is one launched tenant study the drivers hit.
+type target struct {
+	id     string
+	domain string // one of its simulated domains, for the web route
+}
+
+// report is the machine-readable result document.
+type report struct {
+	DurationS      float64            `json:"duration_s"`
+	Requests       int64              `json:"requests"`
+	ReqPerSec      float64            `json:"req_per_sec"`
+	MaxInflight    int64              `json:"max_inflight"`
+	NonInjected5xx int64              `json:"non_injected_5xx"`
+	APITransport   int64              `json:"api_transport_errors"`
+	Injected       int64              `json:"injected_faults"`
+	LatencyUS      map[string]latency `json:"latency_us"`
+	Telemetry      telemetry.Snapshot `json:"telemetry"`
+	Studies        int                `json:"studies"`
+	Passed         bool               `json:"passed"`
+	Failures       []string           `json:"failures,omitempty"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+func main() {
+	var (
+		base        = flag.String("base", "", "base URL of a crawlerd -data-dir service (required)")
+		studies     = flag.Int("studies", 8, "tenant studies to launch")
+		faultsProf  = flag.String("faults", "moderate", "fault profile for the launched studies' webs")
+		terms       = flag.Int("terms", 3, "terms per vertical for launched studies")
+		slots       = flag.Int("slots", 20, "slots per term for launched studies")
+		ckptEvery   = flag.Int("checkpoint-every", 25, "checkpoint cadence for launched studies")
+		inflight    = flag.Int("inflight", 1200, "concurrent request drivers")
+		duration    = flag.Duration("duration", 30*time.Second, "drive duration")
+		minInflight = flag.Int64("min-inflight", 1000, "fail unless max observed in-flight reaches this")
+		p99Max      = flag.Duration("p99-max", 0, "fail if the status route p99 exceeds this (0 = no bound)")
+		out         = flag.String("out", "", "write the JSON report here as well as stdout")
+	)
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "loadtest: -base is required (point it at crawlerd -data-dir)")
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *inflight * 2,
+			MaxIdleConnsPerHost: *inflight * 2,
+			DisableCompression:  true,
+		},
+	}
+
+	targets, err := launchFleet(client, *base, *studies, *faultsProf, *terms, *slots, *ckptEvery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("launched %d studies; driving %d workers for %v\n", len(targets), *inflight, *duration)
+
+	reg := telemetry.New()
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *inflight; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			drive(client, reg, *base, targets, worker, stop)
+		}(w)
+	}
+	wg.Wait()
+
+	rep := buildReport(reg, *duration, len(targets))
+	rep.Passed = true
+	if rep.NonInjected5xx > 0 {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("%d non-injected 5xx", rep.NonInjected5xx))
+	}
+	if rep.APITransport > 0 {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("%d API transport errors", rep.APITransport))
+	}
+	if rep.MaxInflight < *minInflight {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("max in-flight %d < required %d", rep.MaxInflight, *minInflight))
+	}
+	if *p99Max > 0 {
+		if p99 := rep.LatencyUS["status"].P99; p99 > float64(p99Max.Microseconds()) {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("status p99 %.0fus > bound %v", p99, *p99Max))
+		}
+	}
+	rep.Passed = len(rep.Failures) == 0
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if *out != "" {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			os.Exit(1)
+		}
+	}
+	if !rep.Passed {
+		fmt.Fprintln(os.Stderr, "loadtest: FAILED:", strings.Join(rep.Failures, "; "))
+		os.Exit(1)
+	}
+	fmt.Printf("PASSED: %d requests, %.0f req/s, max in-flight %d, %d injected faults absorbed\n",
+		rep.Requests, rep.ReqPerSec, rep.MaxInflight, rep.Injected)
+}
+
+// launchFleet posts the tenant studies and resolves one web domain each.
+func launchFleet(client *http.Client, base string, n int, profile string, terms, slots, every int) ([]target, error) {
+	noTail := false
+	var targets []target
+	for i := 0; i < n; i++ {
+		spec := searchseizure.StudySpec{
+			Seed:             int64(i + 1),
+			Faults:           profile,
+			TermsPerVertical: terms,
+			SlotsPerTerm:     slots,
+			ExtendedTail:     &noTail,
+			CheckpointEvery:  every,
+		}
+		raw, _ := json.Marshal(spec)
+		resp, err := client.Post(base+"/v1/studies", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("launch study %d: %w", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("launch study %d: %d: %s", i, resp.StatusCode, body)
+		}
+		var st studysvc.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("launch study %d: %w", i, err)
+		}
+		dom, err := firstDomain(client, base, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{id: st.ID, domain: dom})
+	}
+	return targets, nil
+}
+
+func firstDomain(client *http.Client, base, id string) (string, error) {
+	resp, err := client.Get(base + "/v1/studies/" + id + "/domains?limit=1")
+	if err != nil {
+		return "", fmt.Errorf("domains for %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	var doms struct {
+		Domains []string `json:"domains"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doms); err != nil {
+		return "", fmt.Errorf("domains for %s: %w", id, err)
+	}
+	if len(doms.Domains) == 0 {
+		return "", fmt.Errorf("study %s has no domains", id)
+	}
+	return doms.Domains[0], nil
+}
+
+// drive is one worker's request loop: a fixed rotation over the API
+// routes plus the faulted web route, so every histogram fills evenly.
+func drive(client *http.Client, reg *telemetry.Registry, base string, targets []target, worker int, stop time.Time) {
+	gauge := reg.Gauge("inflight")
+	for i := 0; time.Now().Before(stop); i++ {
+		t := targets[(worker+i)%len(targets)]
+		var class, url string
+		faulted := false
+		switch i % 4 {
+		case 0, 1:
+			class, url = "status", base+"/v1/studies/"+t.id
+		case 2:
+			class, url = "serp", fmt.Sprintf("%s/v1/studies/%s/web/?simhost=%s&u=/", base, t.id, t.domain)
+			faulted = true
+		case 3:
+			if worker%2 == 0 {
+				class, url = "list", base+"/v1/studies"
+			} else {
+				class, url = "experiments", base+"/v1/studies/"+t.id+"/experiments"
+			}
+		}
+		start := time.Now()
+		gauge.Add(1)
+		status, body, err := fetch(client, url)
+		gauge.Add(-1)
+		reg.Histogram("client_req_"+class+"_us", studysvc.LatencyBuckets()).
+			Observe(float64(time.Since(start).Microseconds()))
+		reg.Counter("req_total").Inc()
+
+		switch {
+		case err != nil && faulted:
+			// Loopback transport errors on the faulted route are the
+			// injection layer severing connections / truncating bodies.
+			reg.Counter("err_injected").Inc()
+		case err != nil:
+			reg.Counter("err_api_transport").Inc()
+		case status >= 500 && strings.Contains(body, "injected"):
+			reg.Counter("err_injected").Inc()
+		case status >= 500:
+			reg.Counter("err_non_injected_5xx").Inc()
+		}
+	}
+}
+
+// fetch reads the whole body (so truncation surfaces as an error) and
+// returns status, a body prefix for classification, and any transport
+// error.
+func fetch(client *http.Client, url string) (int, string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return resp.StatusCode, string(body), err
+	}
+	// Drain the rest so the connection is reusable.
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, string(body), nil
+}
+
+func buildReport(reg *telemetry.Registry, d time.Duration, studies int) report {
+	snap := reg.Snapshot()
+	rep := report{
+		DurationS:      d.Seconds(),
+		Requests:       snap.Counters["req_total"],
+		MaxInflight:    snap.Gauges["inflight"].Max,
+		NonInjected5xx: snap.Counters["err_non_injected_5xx"],
+		APITransport:   snap.Counters["err_api_transport"],
+		Injected:       snap.Counters["err_injected"],
+		LatencyUS:      map[string]latency{},
+		Telemetry:      snap,
+		Studies:        studies,
+	}
+	if d > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / d.Seconds()
+	}
+	for name, h := range snap.Histograms {
+		if cls, ok := strings.CutPrefix(name, "client_req_"); ok {
+			cls = strings.TrimSuffix(cls, "_us")
+			rep.LatencyUS[cls] = latency{P50: h.Quantile(0.50), P99: h.Quantile(0.99)}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/studysvc"
+	"repro/internal/telemetry"
+)
+
+// TestLoadtestSmoke drives the real fleet-launch + request loop against an
+// in-process service at miniature scale: every launched study answers, the
+// faulted web route's 5xx are all injected, and the report classifies
+// correctly.
+func TestLoadtestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m, err := studysvc.NewManager(studysvc.Options{
+		BaseDir: t.TempDir(), Budget: 2, MaxActive: 1, Telemetry: telemetry.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	targets, err := launchFleet(client, srv.URL, 2, "moderate", 3, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("launched %d targets, want 2", len(targets))
+	}
+
+	reg := telemetry.New()
+	stop := time.Now().Add(2 * time.Second)
+	done := make(chan struct{})
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			drive(client, reg, srv.URL, targets, w, stop)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+
+	rep := buildReport(reg, 2*time.Second, len(targets))
+	if rep.Requests == 0 {
+		t.Fatal("no requests driven")
+	}
+	if rep.NonInjected5xx != 0 {
+		t.Fatalf("%d non-injected 5xx", rep.NonInjected5xx)
+	}
+	if rep.APITransport != 0 {
+		t.Fatalf("%d API transport errors", rep.APITransport)
+	}
+	if rep.MaxInflight == 0 || rep.MaxInflight > workers {
+		t.Fatalf("max in-flight %d with %d workers", rep.MaxInflight, workers)
+	}
+	if _, ok := rep.LatencyUS["status"]; !ok {
+		t.Fatalf("no status latency histogram in %v", rep.LatencyUS)
+	}
+	if rep.LatencyUS["status"].P99 <= 0 {
+		t.Fatal("status p99 is zero")
+	}
+}

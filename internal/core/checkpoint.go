@@ -173,9 +173,10 @@ func (c Config) ConfigHash() uint64 {
 	h = fpU64(h, math.Float64bits(c.Faults.DeadDomainRate))
 	h = fpU64(h, math.Float64bits(c.Faults.RateLimitRate))
 	h = fpU64(h, math.Float64bits(c.Faults.OutageRate))
-	// CrawlWorkers and ObserveWorkers are scheduling knobs, not simulation
-	// shape: output is bit-identical at any setting, and a resumed run may
-	// use a different worker count than the killed one.
+	// CrawlWorkers, ObserveWorkers and MaxDays are driving knobs, not
+	// simulation shape: every day that runs is bit-identical at any worker
+	// count or cap, and a resumed run may use different values than the
+	// killed one (e.g. resume a capped study to the full window).
 	return h
 }
 

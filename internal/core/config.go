@@ -52,6 +52,15 @@ type Config struct {
 	// ExtendedTail runs the simulation past the crawl window through
 	// August 2014 so the Figure 5 case study has data.
 	ExtendedTail bool
+	// MaxDays, when > 0, caps how many simulation days RunContext executes:
+	// the study runs days [0, min(MaxDays, window)) and then completes
+	// normally — finalized dataset, no error — instead of running the whole
+	// window. 0 (the default) runs the full window. Like the worker counts,
+	// MaxDays is a driving knob, not simulation shape: each day that does
+	// run is bit-identical to the same day of an uncapped study, so it is
+	// excluded from ConfigHash and a checkpointed study may resume under a
+	// different cap.
+	MaxDays int
 	// ReactiveSeizures swaps the firms' bulk periodic sweeps for small
 	// frequent reactive filings (the abl-reactive ablation).
 	ReactiveSeizures bool

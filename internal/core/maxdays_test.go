@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func capCfg(maxDays int) Config {
+	cfg := TestConfig()
+	cfg.TermsPerVertical = 3
+	cfg.SlotsPerTerm = 20
+	cfg.ExtendedTail = false
+	cfg.MaxDays = maxDays
+	return cfg
+}
+
+// TestMaxDaysCapsRunAndCompletes: a capped study runs exactly MaxDays days,
+// returns a finalized dataset with no error, and each day it does run is
+// bit-identical to the same day of an uncapped study.
+func TestMaxDaysCapsRunAndCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const cap = 5
+
+	capped := NewWorld(capCfg(cap))
+	data, err := capped.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if data.DaysRun != cap {
+		t.Fatalf("DaysRun = %d, want %d", data.DaysRun, cap)
+	}
+	if capped.NextDay() != cap {
+		t.Fatalf("NextDay = %d, want %d", capped.NextDay(), cap)
+	}
+
+	// The uncapped control, cancelled at the same boundary, must agree on
+	// the day fingerprint: the cap changes where the run stops, never what
+	// any day computes.
+	ctrl := NewWorld(capCfg(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctrl.OnDayEnd = func(d simclock.Day) {
+		if int(d)+1 == cap {
+			cancel()
+		}
+	}
+	if _, err := ctrl.RunContext(ctx); err == nil {
+		t.Fatal("control run was not cancelled")
+	}
+	if got, want := data.DayFingerprint(), ctrl.Data.DayFingerprint(); got != want {
+		t.Fatalf("capped day fingerprint %#x != control %#x", got, want)
+	}
+}
+
+// TestMaxDaysBeyondWindowIsFullRun: a cap past the window is a no-op.
+func TestMaxDaysBeyondWindowIsFullRun(t *testing.T) {
+	w := NewWorld(capCfg(0))
+	days := w.Sim.Days()
+	if got := w.TargetDays(); got != days {
+		t.Fatalf("uncapped TargetDays = %d, want %d", got, days)
+	}
+	w2 := NewWorld(capCfg(days + 100))
+	if got := w2.TargetDays(); got != days {
+		t.Fatalf("oversized cap TargetDays = %d, want %d", got, days)
+	}
+}
+
+// TestMaxDaysExcludedFromConfigHash: the cap is a driving knob; snapshots
+// must stay portable across different caps.
+func TestMaxDaysExcludedFromConfigHash(t *testing.T) {
+	a, b := capCfg(0), capCfg(7)
+	if a.ConfigHash() != b.ConfigHash() {
+		t.Fatal("MaxDays changed ConfigHash; capped and uncapped studies cannot share checkpoints")
+	}
+}

@@ -26,6 +26,20 @@ func (w *World) Run() *Dataset {
 	return d
 }
 
+// NextDay is the resume cursor: the first simulation day not yet run.
+// Days [0, NextDay) are fully committed.
+func (w *World) NextDay() int { return int(w.nextDay) }
+
+// TargetDays is how many days RunContext will execute in total: the
+// simulation window, shortened by Config.MaxDays when a cap is set.
+func (w *World) TargetDays() int {
+	days := w.Sim.Days()
+	if w.Cfg.MaxDays > 0 && w.Cfg.MaxDays < days {
+		return w.Cfg.MaxDays
+	}
+	return days
+}
+
 // RunContext is Run with cooperative cancellation. The context is checked
 // at each day boundary — never mid-day, so the dataset is always coherent:
 // every day in [0, DaysRun) is fully committed and no later day has begun.
@@ -37,13 +51,16 @@ func (w *World) Run() *Dataset {
 // world continues from the first unrun day, so a cancelled study can be
 // resumed to completion.
 func (w *World) RunContext(ctx context.Context) (*Dataset, error) {
-	for int(w.nextDay) < w.Sim.Days() {
+	for int(w.nextDay) < w.TargetDays() {
 		if err := ctx.Err(); err != nil {
 			w.Finalize()
 			w.Data.DaysRun = int(w.nextDay)
 			return w.Data, err
 		}
 		d := w.nextDay
+		if w.OnDayStart != nil {
+			w.OnDayStart(d)
+		}
 		w.RunDay(d)
 		// Advance the cursor before the day-boundary hook so a snapshot
 		// taken inside it records day d as committed.
@@ -53,7 +70,7 @@ func (w *World) RunContext(ctx context.Context) (*Dataset, error) {
 		}
 	}
 	w.Finalize()
-	w.Data.DaysRun = w.Sim.Days()
+	w.Data.DaysRun = int(w.nextDay)
 	return w.Data, nil
 }
 

@@ -116,6 +116,13 @@ type World struct {
 	// nextDay is RunContext's resume cursor: the first day not yet run.
 	nextDay simclock.Day
 
+	// OnDayStart, when set, is called by RunContext immediately before each
+	// day executes, while the world is still quiescent. The service plane
+	// hooks here to gate day execution on a shared worker budget; blocking
+	// inside the hook delays the day but cannot change its result. The hook
+	// must not mutate the world.
+	OnDayStart func(d simclock.Day)
+
 	// OnDayEnd, when set, is called by RunContext after each day fully
 	// commits and the resume cursor has advanced past it — the exact moment
 	// the world is quiescent and Snapshot captures a coherent study. The

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -133,6 +134,20 @@ func (w *Web) Domains() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return len(w.sites)
+}
+
+// DomainNames returns the registered domain names in sorted order, so
+// external drivers can enumerate the web deterministically. Lazily
+// materialised fallback domains appear only once fetched.
+func (w *Web) DomainNames() []string {
+	w.mu.RLock()
+	names := make([]string, 0, len(w.sites))
+	for d := range w.sites {
+		names = append(names, d)
+	}
+	w.mu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // Fetch resolves and serves a request in process. Unknown hosts return 404;

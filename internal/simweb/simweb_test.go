@@ -319,6 +319,31 @@ func TestRegisterReplaces(t *testing.T) {
 	}
 }
 
+// TestDomainNamesSorted pins the enumeration contract the service plane's
+// /domains endpoint relies on: every registered domain, sorted, regardless
+// of registration order.
+func TestDomainNamesSorted(t *testing.T) {
+	w := NewWeb()
+	for _, d := range []string{"c.com", "a.com", "b.com"} {
+		w.Register(d, &StaticSite{Body: d})
+	}
+	got := w.DomainNames()
+	want := []string{"a.com", "b.com", "c.com"}
+	if len(got) != len(want) {
+		t.Fatalf("DomainNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DomainNames = %v, want %v", got, want)
+		}
+	}
+	// Re-registration must not duplicate.
+	w.Register("a.com", &StaticSite{Body: "again"})
+	if n := len(w.DomainNames()); n != 3 {
+		t.Fatalf("after re-register, %d names", n)
+	}
+}
+
 func TestResolveURLRelative(t *testing.T) {
 	if got := ResolveURL("http://a.com/x/y", "/z"); got != "http://a.com/z" {
 		t.Fatalf("resolve = %q", got)

@@ -1,0 +1,200 @@
+package studysvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRecoverAllSameProcess: launch, cancel mid-run, rebuild a Manager over
+// the same data dir, and the recovered fleet resumes to the golden
+// fingerprint — the in-process half of the crash story.
+func TestRecoverAllSameProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := t.TempDir()
+	m1, err := NewManager(Options{BaseDir: base, Budget: 4, MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m1.Launch(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForDay(t, h1, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h1.State() != StateCancelled {
+		t.Fatalf("state after shutdown %s, want cancelled", h1.State())
+	}
+
+	m2, err := NewManager(Options{BaseDir: base, Budget: 4, MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := m2.RecoverAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].ID != h1.ID {
+		t.Fatalf("recovered %v, want [%s]", recovered, h1.ID)
+	}
+	h2 := recovered[0]
+	waitDone(t, h2)
+	if h2.State() != StateComplete {
+		t.Fatalf("recovered study ended %s: %v", h2.State(), h2.Err())
+	}
+	if got := handleFingerprint(t, h2); got != goldenTinyFingerprint {
+		t.Fatalf("recovered fingerprint %#x != golden %#x", got, uint64(goldenTinyFingerprint))
+	}
+	// The recovered handle resumed rather than restarting: its event log
+	// starts with a "recovered" cursor past day 0.
+	evs, _ := h2.EventsSince(0)
+	resumed := false
+	for _, e := range evs {
+		if e.Type == "recovered" && e.Day >= 2 {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatalf("no recovered event past day 2 in %+v", evs)
+	}
+	// A fresh id allocated after recovery must not collide.
+	h3, err := m2.Launch(tinySpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.ID == h2.ID {
+		t.Fatalf("id collision after recovery: %s", h3.ID)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	m2.Shutdown(ctx2)
+}
+
+// TestServiceSurvivesKill9 is the acceptance crash story over the real
+// wire: a child process boots the service, a study is launched via POST
+// /v1/studies, the process dies by SIGKILL mid-study, and a fresh manager
+// over the same data dir recovers it on boot (visible via GET /v1/studies)
+// and resumes to the golden faults-off fingerprint.
+func TestServiceSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if os.Getenv("SSSVC_CHILD") != "" {
+		t.Skip("child guard")
+	}
+	base := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestServiceKill9Child$", "-test.v")
+	cmd.Env = append(os.Environ(), "SSSVC_CHILD=1", "SSSVC_DIR="+base)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The child launches s-000001 over HTTP; wait until its study has
+	// committed at least two snapshots, then kill -9.
+	ckptGlob := filepath.Join(base, "s-000001", "ckpt-*.ckpt")
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if n, _ := filepath.Glob(ckptGlob); len(n) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child produced no checkpoints within the deadline")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Boot a fresh service over the same dir: the study must appear in the
+	// listing, resume, and converge to golden.
+	m, err := NewManager(Options{BaseDir: base, Budget: 4, MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RecoverAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+
+	// The recovered-on-boot listing is served over the API.
+	req, _ := http.NewRequest(http.MethodGet, "/v1/studies", nil)
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, req)
+	var listing struct {
+		Studies []Status `json:"studies"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("listing: %v", err)
+	}
+	if len(listing.Studies) != 1 || listing.Studies[0].ID != "s-000001" {
+		t.Fatalf("recovered listing %+v", listing)
+	}
+
+	h, ok := m.Get("s-000001")
+	if !ok {
+		t.Fatal("recovered study missing from manager")
+	}
+	waitDone(t, h)
+	if h.State() != StateComplete {
+		t.Fatalf("recovered study ended %s: %v", h.State(), h.Err())
+	}
+	if got := handleFingerprint(t, h); got != goldenTinyFingerprint {
+		t.Fatalf("post-kill fingerprint %#x != golden %#x", got, uint64(goldenTinyFingerprint))
+	}
+}
+
+// TestServiceKill9Child is the sacrificial process: it boots the service
+// on a loopback socket, launches the golden study through a real POST, and
+// waits to be killed.
+func TestServiceKill9Child(t *testing.T) {
+	if os.Getenv("SSSVC_CHILD") == "" {
+		t.Skip("only runs as the kill -9 child")
+	}
+	m, err := NewManager(Options{BaseDir: os.Getenv("SSSVC_DIR"), Budget: 4, MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go srv.Serve(ln)
+
+	spec := tinySpec(1)
+	spec.CheckpointEvery = 1
+	raw, _ := json.Marshal(spec)
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/studies",
+		"application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("launch status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Run until the parent kills us.
+	select {}
+}

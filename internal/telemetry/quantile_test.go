@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile pins the interpolation contract the service plane
+// and loadtest rely on: linear within a bucket, clamped to the last finite
+// bound for mass in the +Inf bucket, zero on an empty histogram.
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{10, 100, 1000}
+
+	t.Run("empty", func(t *testing.T) {
+		var h HistogramSnapshot
+		if got := h.Quantile(0.99); got != 0 {
+			t.Fatalf("empty histogram quantile = %v, want 0", got)
+		}
+	})
+
+	t.Run("interpolates within a bucket", func(t *testing.T) {
+		// All 100 observations land in (10, 100]: the median should fall
+		// halfway through that bucket.
+		h := HistogramSnapshot{Count: 100, Bounds: bounds, Counts: []int64{0, 100, 0, 0}}
+		if got, want := h.Quantile(0.5), 55.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p50 = %v, want %v", got, want)
+		}
+		if got, want := h.Quantile(1), 100.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p100 = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("spans buckets", func(t *testing.T) {
+		h := HistogramSnapshot{Count: 10, Bounds: bounds, Counts: []int64{5, 5, 0, 0}}
+		// p50 exhausts the first bucket exactly: its upper bound.
+		if got, want := h.Quantile(0.5), 10.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p50 = %v, want %v", got, want)
+		}
+		// p90 is 4/5 through the second bucket: 10 + 0.8*90.
+		if got, want := h.Quantile(0.9), 82.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p90 = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("overflow clamps to last bound", func(t *testing.T) {
+		h := HistogramSnapshot{Count: 4, Bounds: bounds, Counts: []int64{0, 0, 0, 4}}
+		if got, want := h.Quantile(0.99), 1000.0; got != want {
+			t.Fatalf("overflow quantile = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("q clamped to [0,1]", func(t *testing.T) {
+		h := HistogramSnapshot{Count: 10, Bounds: bounds, Counts: []int64{10, 0, 0, 0}}
+		if got := h.Quantile(-3); got < 0 || got > 10 {
+			t.Fatalf("q<0 quantile = %v, want within first bucket", got)
+		}
+		if got, want := h.Quantile(7), 10.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q>1 quantile = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("live registry round trip", func(t *testing.T) {
+		reg := New()
+		h := reg.Histogram("lat_us", bounds)
+		for i := 0; i < 100; i++ {
+			h.Observe(50) // all in (10, 100]
+		}
+		snap := reg.Snapshot().Histograms["lat_us"]
+		got := snap.Quantile(0.99)
+		if got <= 10 || got > 100 {
+			t.Fatalf("p99 = %v, want within (10, 100]", got)
+		}
+	})
+}

@@ -385,6 +385,45 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
+// by linear interpolation inside the containing bucket, the way Prometheus
+// histogram_quantile does. The first bucket interpolates from 0; a target
+// landing in the +Inf bucket clamps to the last finite bound (the
+// histogram cannot resolve beyond it). An empty histogram returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum int64
+	for i, n := range h.Counts {
+		prev := cum
+		cum += n
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if n == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(target-float64(prev))/float64(n)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // GaugeSnapshot is one gauge's frozen state.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`

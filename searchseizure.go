@@ -333,18 +333,30 @@ func (s *Study) Run() *core.Dataset {
 	return d
 }
 
+// ErrUnknownExperiment is returned (wrapped) by Experiment when no
+// experiment has the requested id; match it with errors.Is and recover the
+// valid ids from ListExperiments.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
 // Experiment computes one of the paper's tables or figures by id (see
-// Experiments for the registry), running the study first if needed. The
-// returned Table renders as text via String and as JSON via Marshal;
+// ListExperiments for the registry), running the study first if needed.
+// The returned Table renders as text via String and as JSON via Marshal;
 // callers that only ever printed the result keep working, callers that
-// want structure no longer have to parse text.
+// want structure no longer have to parse text. An id outside the registry
+// returns an error wrapping ErrUnknownExperiment — callers no longer have
+// to guess ids or parse the message.
 func (s *Study) Experiment(id string) (Table, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
-		return Table{}, fmt.Errorf("searchseizure: unknown experiment %q (have %v)", id, ExperimentIDs())
+		return Table{}, fmt.Errorf("searchseizure: %w %q (have %v)", ErrUnknownExperiment, id, ExperimentIDs())
 	}
 	return Table{ID: e.ID, Title: e.Title, Result: e.Run(s.Run())}, nil
 }
+
+// ListExperiments lists the tables and figures this study can compute, in
+// paper order. It is the per-study spelling of the package-level
+// Experiments registry — the ids are valid inputs to Experiment.
+func (s *Study) ListExperiments() []ExperimentInfo { return Experiments() }
 
 // MustExperiment is Experiment, panicking on unknown ids. It is intended
 // for tests and examples, where an unknown id is a programming error;

@@ -1,0 +1,206 @@
+package searchseizure
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// StudySpec is the serializable launch description shared by every way a
+// study can start: the HTTP service plane (POST /v1/studies), the crawlerd
+// command line, and programmatic callers via NewFromSpec. One validation
+// path means a spec rejected over HTTP is rejected identically from the
+// CLI — the two cannot drift.
+//
+// The zero value is a valid spec: the "test" preset at its defaults, no
+// faults, full window. Every field is optional; zero means "preset
+// default". Validation failures carry field-level machine-readable codes
+// (see FieldError) so API clients can map them onto forms.
+type StudySpec struct {
+	// Preset selects the base configuration: "test" (miniature, the
+	// default), "bench" (mid-size) or "default" (paper scale).
+	Preset string `json:"preset,omitempty"`
+	// Seed drives every random choice; the same spec reproduces the study
+	// bit-for-bit. 0 selects the preset default (1). Negative is invalid —
+	// the wire format is signed so a bad client-side cast surfaces as a
+	// field error instead of a silently huge seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Faults names the fault-injection profile ("off", "moderate",
+	// "severe"). "" means "off".
+	Faults string `json:"faults,omitempty"`
+	// Days caps how many simulation days run (Config.MaxDays); 0 runs the
+	// full window. The cap is a driving knob: every day that runs is
+	// bit-identical to the same day of an uncapped study.
+	Days int `json:"days,omitempty"`
+	// Scale overrides the preset's infrastructure multiplier when > 0.
+	Scale float64 `json:"scale,omitempty"`
+	// TermsPerVertical and SlotsPerTerm override the crawl size when > 0.
+	TermsPerVertical int `json:"terms_per_vertical,omitempty"`
+	SlotsPerTerm     int `json:"slots_per_term,omitempty"`
+	// ExtendedTail, when set, overrides whether the simulation runs past
+	// the crawl window (the Figure 5 tail). nil keeps the preset's choice.
+	ExtendedTail *bool `json:"extended_tail,omitempty"`
+	// CheckpointEvery is the snapshot cadence in days for launchers that
+	// attach a checkpoint directory; 0 means every day. The directory
+	// itself is the launcher's concern (the service assigns one per study),
+	// so it is not part of the spec.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Stable machine-readable codes carried by FieldError.
+const (
+	// CodeNegative: a count or seed that must be >= 0 is negative.
+	CodeNegative = "negative"
+	// CodeUnknownProfile: Faults names no known fault profile.
+	CodeUnknownProfile = "unknown_profile"
+	// CodeUnknownPreset: Preset names no known base configuration.
+	CodeUnknownPreset = "unknown_preset"
+	// CodeOutOfRange: a numeric field is outside its valid range.
+	CodeOutOfRange = "out_of_range"
+)
+
+// FieldError locates one invalid StudySpec field. Code is stable and
+// machine-readable; Message is for humans.
+type FieldError struct {
+	Field   string `json:"field"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ValidationError is the typed error Validate returns: every invalid field
+// reported at once, in spec field order, so a client can fix a launch
+// request in one round trip.
+type ValidationError struct {
+	Fields []FieldError
+}
+
+func (e *ValidationError) Error() string {
+	parts := make([]string, 0, len(e.Fields))
+	for _, f := range e.Fields {
+		parts = append(parts, fmt.Sprintf("%s: %s (%s)", f.Field, f.Message, f.Code))
+	}
+	return "searchseizure: invalid study spec: " + strings.Join(parts, "; ")
+}
+
+// SpecPresets lists the valid Preset names.
+func SpecPresets() []string { return []string{"test", "bench", "default"} }
+
+// presetConfig resolves a preset name; "" is "test".
+func presetConfig(name string) (Config, bool) {
+	switch name {
+	case "", "test":
+		return TestConfig(), true
+	case "bench":
+		return BenchConfig(), true
+	case "default":
+		return DefaultConfig(), true
+	}
+	return Config{}, false
+}
+
+// Validate checks every field and returns nil or a *ValidationError
+// carrying one FieldError per problem.
+func (s StudySpec) Validate() error {
+	var errs []FieldError
+	add := func(field, code, msg string) {
+		errs = append(errs, FieldError{Field: field, Code: code, Message: msg})
+	}
+	if _, ok := presetConfig(s.Preset); !ok {
+		add("preset", CodeUnknownPreset,
+			fmt.Sprintf("unknown preset %q (have %s)", s.Preset, strings.Join(SpecPresets(), ", ")))
+	}
+	if s.Seed < 0 {
+		add("seed", CodeNegative, fmt.Sprintf("seed must be >= 0, got %d", s.Seed))
+	}
+	if s.Faults != "" {
+		if _, err := faults.Profile(s.Faults); err != nil {
+			add("faults", CodeUnknownProfile,
+				fmt.Sprintf("unknown fault profile %q (have %s)", s.Faults, strings.Join(faults.Profiles(), ", ")))
+		}
+	}
+	if s.Days < 0 {
+		add("days", CodeNegative, fmt.Sprintf("days must be >= 0, got %d", s.Days))
+	}
+	if s.Scale < 0 {
+		add("scale", CodeOutOfRange, fmt.Sprintf("scale must be >= 0, got %g", s.Scale))
+	}
+	if s.TermsPerVertical < 0 {
+		add("terms_per_vertical", CodeNegative,
+			fmt.Sprintf("terms_per_vertical must be >= 0, got %d", s.TermsPerVertical))
+	}
+	if s.SlotsPerTerm < 0 {
+		add("slots_per_term", CodeNegative,
+			fmt.Sprintf("slots_per_term must be >= 0, got %d", s.SlotsPerTerm))
+	}
+	if s.CheckpointEvery < 0 {
+		add("checkpoint_every", CodeNegative,
+			fmt.Sprintf("checkpoint_every must be >= 0, got %d", s.CheckpointEvery))
+	}
+	if errs != nil {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// WithDefaults returns the spec with implicit choices made explicit
+// (preset "test", faults "off", seed 1), so a stored or echoed spec says
+// what will actually run.
+func (s StudySpec) WithDefaults() StudySpec {
+	if s.Preset == "" {
+		s.Preset = "test"
+	}
+	if s.Faults == "" {
+		s.Faults = "off"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Config validates the spec and resolves it to the concrete study
+// configuration: preset base, overrides applied, fault profile folded in.
+func (s StudySpec) Config() (Config, error) {
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	cfg, _ := presetConfig(s.Preset)
+	if s.Seed > 0 {
+		cfg.Seed = uint64(s.Seed)
+	}
+	if s.Faults != "" {
+		fc, err := faults.Profile(s.Faults)
+		if err != nil {
+			// Unreachable after Validate; surface it anyway.
+			return Config{}, fmt.Errorf("searchseizure: %w", err)
+		}
+		cfg.Faults = fc
+	}
+	cfg.MaxDays = s.Days
+	if s.Scale > 0 {
+		cfg.Scale = s.Scale
+	}
+	if s.TermsPerVertical > 0 {
+		cfg.TermsPerVertical = s.TermsPerVertical
+	}
+	if s.SlotsPerTerm > 0 {
+		cfg.SlotsPerTerm = s.SlotsPerTerm
+	}
+	if s.ExtendedTail != nil {
+		cfg.ExtendedTail = *s.ExtendedTail
+	}
+	return cfg, nil
+}
+
+// NewFromSpec builds a study from a validated spec. Options apply on top
+// of the spec-derived config (the service plane passes WithTelemetry and
+// WithCheckpoint here); an invalid spec returns the *ValidationError from
+// Validate unwrapped, so callers can render field-level diagnostics.
+func NewFromSpec(spec StudySpec, opts ...Option) (*Study, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg, opts...)
+}
