@@ -12,9 +12,9 @@
 //
 // The report's "metrics" block is the ratchet surface: -baseline compares
 // it against a checked-in bench.baseline.json and exits non-zero when any
-// ratcheted metric regresses by more than 10% (throughput down, allocs up).
-// Telemetry overhead and sslint wall time ride along in the baseline for
-// context but are gated by their own contracts, not the ratchet.
+// ratcheted metric regresses past its slack (throughput down, allocs up,
+// sslint wall time up). Telemetry overhead rides along in the baseline for
+// context but is gated by its own < 2% contract, not the ratchet.
 //
 // Usage:
 //
@@ -61,9 +61,10 @@ type result struct {
 }
 
 // metrics is the ratchet surface: the handful of numbers the baseline
-// tracks across commits. Throughput and allocation counts are ratcheted
-// (a >10% regression fails); overhead and sslint wall time are recorded
-// for the archived diff but gated by their own contracts.
+// tracks across commits. Throughput, allocation counts and sslint wall
+// time are ratcheted (a regression past the per-metric slack fails);
+// telemetry overhead is recorded for the archived diff but gated by its
+// own contract.
 type metrics struct {
 	// SimulatedDaysPerSec is the parallel day pipeline's throughput:
 	// 1e9 / SimulatedDayParallel ns/op. Ratcheted (lower is worse).
@@ -80,7 +81,10 @@ type metrics struct {
 	// TelemetryOverheadPct is recorded, not ratcheted: its own < 2%
 	// contract is asserted directly in CI.
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
-	// SslintWallMs is recorded, not ratcheted.
+	// SslintWallMs is one full lint pass over ./... — the latency every CI
+	// run and every pre-commit pays. Ratcheted with wide slack: single-run
+	// wall clock on shared hardware is noisy, so the gate only trips when
+	// the suite genuinely blows up, not when the host is grumpy.
 	SslintWallMs float64 `json:"sslint_wall_ms"`
 	// CheckpointSaveMs times one full-study snapshot through the codec and
 	// the atomic write protocol; CheckpointLoadMs times the recovery scan
@@ -204,28 +208,32 @@ func sslintModuleRoot() (string, error) {
 	}
 }
 
-// ratchet is one compared metric: how to read it out of a metrics block and
-// which direction is a regression.
+// ratchet is one compared metric: how to read it out of a metrics block,
+// which direction is a regression, and how much slack it gets before the
+// gate trips. Min-of-N benchmark numbers get the standard 10%; single-run
+// wall-clock numbers get 50%, enough to absorb a grumpy host while still
+// catching a suite that doubles its cost.
 type ratchet struct {
 	name        string
 	read        func(m metrics) float64
 	higherIsBad bool
+	slack       float64
 }
 
 var ratchets = []ratchet{
-	{"simulated_days_per_sec", func(m metrics) float64 { return m.SimulatedDaysPerSec }, false},
-	{"day_allocs_per_op", func(m metrics) float64 { return float64(m.DayAllocsPerOp) }, true},
-	{"htmlgen_doorway_allocs_per_op", func(m metrics) float64 { return float64(m.HtmlgenDoorwayAllocsPerOp) }, true},
-	{"htmlgen_store_allocs_per_op", func(m metrics) float64 { return float64(m.HtmlgenStoreAllocsPerOp) }, true},
-	{"triplets_allocs_per_op", func(m metrics) float64 { return float64(m.TripletsAllocsPerOp) }, true},
+	{"simulated_days_per_sec", func(m metrics) float64 { return m.SimulatedDaysPerSec }, false, 0.10},
+	{"day_allocs_per_op", func(m metrics) float64 { return float64(m.DayAllocsPerOp) }, true, 0.10},
+	{"htmlgen_doorway_allocs_per_op", func(m metrics) float64 { return float64(m.HtmlgenDoorwayAllocsPerOp) }, true, 0.10},
+	{"htmlgen_store_allocs_per_op", func(m metrics) float64 { return float64(m.HtmlgenStoreAllocsPerOp) }, true, 0.10},
+	{"triplets_allocs_per_op", func(m metrics) float64 { return float64(m.TripletsAllocsPerOp) }, true, 0.10},
+	{"sslint_wall_ms", func(m metrics) float64 { return m.SslintWallMs }, true, 0.50},
 }
 
-// compareBaseline enforces the 10% ratchet and returns the number of
-// regressions. A zero baseline on a higher-is-bad metric means "stay at
+// compareBaseline enforces the per-metric ratchet and returns the number
+// of regressions. A zero baseline on a higher-is-bad metric means "stay at
 // zero": any increase is a regression, since the alloc counts involved are
 // deterministic, not noisy.
 func compareBaseline(base baselineFile, cur metrics) int {
-	const slack = 0.10
 	regressions := 0
 	for _, r := range ratchets {
 		b, c := r.read(base.Metrics), r.read(cur)
@@ -234,9 +242,9 @@ func compareBaseline(base baselineFile, cur metrics) int {
 		case r.higherIsBad && b == 0:
 			bad = c > 0
 		case r.higherIsBad:
-			bad = c > b*(1+slack)
+			bad = c > b*(1+r.slack)
 		default:
-			bad = c < b*(1-slack)
+			bad = c < b*(1-r.slack)
 		}
 		verdict := "ok"
 		if bad {
@@ -252,7 +260,7 @@ func compareBaseline(base baselineFile, cur metrics) int {
 func main() {
 	out := flag.String("o", "BENCH_0.json", "output file")
 	samples := flag.Int("samples", 3, "min-of-N sample count for ratcheted benchmarks")
-	baselinePath := flag.String("baseline", "", "baseline file to ratchet against (exit 1 on >10% regression)")
+	baselinePath := flag.String("baseline", "", "baseline file to ratchet against (exit 1 on any regression past a metric's slack)")
 	writeBaseline := flag.String("write-baseline", "", "write the measured metrics as a new baseline file and exit 0")
 	flag.Parse()
 
@@ -579,9 +587,9 @@ func main() {
 				base.GoVersion, base.NumCPU, rep.GoVersion, rep.NumCPU)
 		}
 		if n := compareBaseline(base, rep.Metrics); n > 0 {
-			fmt.Fprintf(os.Stderr, "bench ratchet: %d metric(s) regressed >10%% vs %s\n", n, *baselinePath)
+			fmt.Fprintf(os.Stderr, "bench ratchet: %d metric(s) regressed past their slack vs %s\n", n, *baselinePath)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "bench ratchet: all metrics within 10%% of %s\n", *baselinePath)
+		fmt.Fprintf(os.Stderr, "bench ratchet: all metrics within slack of %s\n", *baselinePath)
 	}
 }

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// APICodes keeps the /v1 error vocabulary and wire schema stable by
+// construction.
+var APICodes = &analysis.Analyzer{
+	Name: "apicodes",
+	Doc: `error codes come from the declared registry; JSON tags are snake_case
+
+Clients program against the /v1 error codes ("invalid_spec",
+"out_of_range", ...) and the StudySpec field names; both are API surface
+that must never drift through a typo at one call site. Two rules in the
+scoped packages: (1) every value passed where an error code is expected —
+a parameter named "code", a struct field named "Code" assigned or
+composite-initialised — must be a declared constant whose name matches
+^(Err)?Code, or a parameter named "code" forwarding one (enforcement
+then applies at that function's call sites). Raw string literals and
+arbitrary variables are findings. (2) every json struct tag must name the
+field in snake_case (or "-"): lower-case letters, digits and
+underscores, nothing else.`,
+	Run: runAPICodes,
+}
+
+var snakeCaseTag = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+func runAPICodes(pass *analysis.Pass) (any, error) {
+	ac := &apiCodes{pass: pass, codeParams: make(map[types.Object]bool)}
+	// First pass: collect every function/closure parameter named "code".
+	// Such a parameter may forward to a code slot (the obligation moves to
+	// its call sites); a *local* named "code" gets no such pass.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			if ft.Params == nil {
+				return true
+			}
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					if name.Name == "code" {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							ac.codeParams[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkJSONTags(pass, n)
+			case *ast.CallExpr:
+				ac.checkCodeArgs(n)
+			case *ast.CompositeLit:
+				ac.checkCodeFields(n)
+			case *ast.AssignStmt:
+				ac.checkCodeAssigns(n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// apiCodes carries the per-package set of parameters named "code".
+type apiCodes struct {
+	pass       *analysis.Pass
+	codeParams map[types.Object]bool
+}
+
+// checkJSONTags enforces snake_case on every json tag name.
+func checkJSONTags(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		tag, ok := reflect.StructTag(raw).Lookup("json")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			continue
+		}
+		if !snakeCaseTag.MatchString(name) {
+			pass.Reportf(field.Tag.Pos(), "json tag %q is not snake_case; the wire schema uses lower_case_underscore names only", name)
+		}
+	}
+}
+
+// checkCodeArgs flags non-registry values passed to parameters named
+// "code". The signature is read from the call's function type, so it
+// covers declared functions, methods and function-typed locals alike.
+func (ac *apiCodes) checkCodeArgs(call *ast.CallExpr) {
+	pass := ac.pass
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if params.At(i).Name() != "code" {
+			continue
+		}
+		if !ac.isRegistryCode(call.Args[i]) {
+			pass.Reportf(call.Args[i].Pos(), "error code must be a declared Code*/ErrCode* constant, not %s; ad-hoc codes break clients that match on them", codeExprDesc(call.Args[i]))
+		}
+	}
+}
+
+// checkCodeFields flags non-registry values in `Code:` composite-literal
+// fields of structs whose type lives in a scoped package.
+func (ac *apiCodes) checkCodeFields(lit *ast.CompositeLit) {
+	pass := ac.pass
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if !isCodeStringField(pass, key) {
+			continue
+		}
+		if !ac.isRegistryCode(kv.Value) {
+			pass.Reportf(kv.Value.Pos(), "error code must be a declared Code*/ErrCode* constant, not %s; ad-hoc codes break clients that match on them", codeExprDesc(kv.Value))
+		}
+	}
+}
+
+// checkCodeAssigns flags `x.Code = <non-registry>` assignments.
+func (ac *apiCodes) checkCodeAssigns(as *ast.AssignStmt) {
+	pass := ac.pass
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Code" {
+			continue
+		}
+		if !isCodeStringField(pass, sel.Sel) {
+			continue
+		}
+		if !ac.isRegistryCode(as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "error code must be a declared Code*/ErrCode* constant, not %s; ad-hoc codes break clients that match on them", codeExprDesc(as.Rhs[i]))
+		}
+	}
+}
+
+// isCodeStringField reports whether id resolves to a string-typed struct
+// field (so `Code` keys on non-API structs with other types stay out of
+// scope).
+func isCodeStringField(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isRegistryCode reports whether e is an acceptable error-code value: a
+// declared constant named Code*/ErrCode*, or a parameter named "code"
+// (whose call sites are checked in turn).
+func (ac *apiCodes) isRegistryCode(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ac.registryObject(ac.pass.TypesInfo.Uses[e])
+	case *ast.SelectorExpr:
+		return ac.registryObject(ac.pass.TypesInfo.Uses[e.Sel])
+	}
+	return false
+}
+
+func (ac *apiCodes) registryObject(obj types.Object) bool {
+	switch obj := obj.(type) {
+	case *types.Const:
+		return strings.HasPrefix(obj.Name(), "Code") || strings.HasPrefix(obj.Name(), "ErrCode")
+	case *types.Var:
+		// A parameter named "code": the forwarding function's own call
+		// sites carry the obligation.
+		return ac.codeParams[obj]
+	}
+	return false
+}
+
+// codeExprDesc renders a short description for the diagnostic.
+func codeExprDesc(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return "a raw string literal"
+	case *ast.Ident:
+		return "variable " + e.Name
+	case *ast.SelectorExpr:
+		return "expression " + e.Sel.Name
+	default:
+		return "a computed expression"
+	}
+}

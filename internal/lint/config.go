@@ -85,6 +85,60 @@ func DefaultScope() *Scope {
 			Purity.Name:       simulationPackages,
 			RaceCapture.Name:  simulationPackages,
 			CtxFlow.Name:      simulationPackages,
+			// Snapshot completeness applies wherever Export*/Restore* pairs
+			// live; running it over the whole sim core means a pair added to
+			// a new package is covered the day it lands.
+			SnapshotFields.Name: simulationPackages,
+			// Lock discipline targets the service plane and the sharded
+			// state both studysvc and the day pipeline lean on.
+			LockDiscipline.Name: {"repro/internal/studysvc", "repro/internal/shard"},
+			// The zero-alloc packages the bench ratchet pins at 0 allocs/op
+			// (plus searchsim, whose per-day serp walk dominates the day).
+			HotAlloc.Name: {
+				"repro/internal/htmlgen",
+				"repro/internal/htmlparse",
+				"repro/internal/shard",
+				"repro/internal/searchsim",
+			},
+			// faultboundary's wrap rule reports wherever faults.Handler (or
+			// a wrapper) can be called with control-plane handlers; its
+			// import rule consults the narrower pseudo-scope below.
+			FaultBoundary.Name: append([]string{
+				"repro/internal/studysvc",
+				"repro/cmd/crawlerd",
+			}, simulationPackages...),
+			// Pseudo-key consulted via InSinkScope by faultboundary's
+			// net/http import ban: the deterministic core minus the two
+			// sanctioned HTTP-facing packages (faults wraps real handlers,
+			// simweb *is* the simulated web server).
+			"faultboundary/imports": {
+				"repro",
+				"repro/internal/analytics",
+				"repro/internal/brands",
+				"repro/internal/campaign",
+				"repro/internal/classify",
+				"repro/internal/cnc",
+				"repro/internal/core",
+				"repro/internal/crawler",
+				"repro/internal/experiments",
+				"repro/internal/export",
+				"repro/internal/htmlgen",
+				"repro/internal/htmlparse",
+				"repro/internal/intervention",
+				"repro/internal/jsmini",
+				"repro/internal/metrics",
+				"repro/internal/purchase",
+				"repro/internal/rng",
+				"repro/internal/searchsim",
+				"repro/internal/shard",
+				"repro/internal/simclock",
+				"repro/internal/store",
+				"repro/internal/supplier",
+				"repro/internal/traffic",
+			},
+			// The error-code registry lives in the root package (spec
+			// validation) and studysvc (the /v1 HTTP error envelope).
+			APICodes.Name: {"repro", "repro/internal/studysvc"},
 		},
 		ExcludeFiles: map[string]map[string]bool{
 			NoWallTime.Name: {"repro/internal/faults:handler.go": true},
@@ -92,6 +146,16 @@ func DefaultScope() *Scope {
 			// its internal call chains are exempt from the indirect gate
 			// too; callers elsewhere in faults remain gated.
 			Purity.Name: {"repro/internal/faults:handler.go": true},
+			HotAlloc.Name: {
+				// Cloaking-script synthesis is memoised behind
+				// Generator.cache — each (id, target) pair renders once per
+				// run; the per-page path replays cached bytes and the bench
+				// ratchet pins it at 0 allocs/op.
+				"repro/internal/htmlgen:cloak.go": true,
+				// The snapshot codec runs at day boundaries only (export on
+				// checkpoint, restore on resume), never inside the day loop.
+				"repro/internal/searchsim:state.go": true,
+			},
 		},
 		// The telemetry span/registry entry points and the parallel pool
 		// drivers read the wall clock and spawn workers by design; the

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirectives feeds arbitrary comment bytes through the
+// //sslint:ignore parser: it must never panic, and every parsed directive
+// must be internally consistent — a well-formed one carries an analyzer
+// and a reason, a malformed one says what is missing, and the coverage
+// span never precedes the directive line. Unknown analyzer names are the
+// suppress step's job, so here they only need to round-trip losslessly.
+func FuzzParseDirectives(f *testing.F) {
+	seeds := []string{
+		"//sslint:ignore maporder reduction is commutative",
+		"//sslint:ignore maporder",
+		"//sslint:ignore",
+		"//sslint:ignore   ",
+		"//sslint:ignore notananalyzer some reason",
+		"// sslint:ignore maporder spaced prefix still counts",
+		"//sslint:ignore maporder reason // trailing want comment",
+		"//sslint:ignoremaporder no space after prefix",
+		"//sslint:ignore maporder \x00\x01\x02",
+		"//sslint:ignore maporder " + strings.Repeat("長", 300),
+		"/*sslint:ignore maporder block comments never carry directives*/",
+		"//sslint:ignore\tmaporder\ttabs separate fields too",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		// Mount the fuzz input as a comment in an otherwise-valid file; a
+		// comment that breaks the file (embedded newline starting junk,
+		// stray */) is go/parser's problem, not the directive parser's.
+		src := "package p\n\n" + comment + "\nvar x = 0\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip()
+		}
+		dirs := parseDirectives(fset, file)
+		for _, d := range dirs {
+			if d.malform == "" && (d.analyzer == "" || d.reason == "") {
+				t.Fatalf("well-formed directive missing analyzer (%q) or reason (%q) for input %q", d.analyzer, d.reason, comment)
+			}
+			if d.malform != "" && d.reason != "" {
+				t.Fatalf("directive is both malformed (%q) and reasoned (%q) for input %q", d.malform, d.reason, comment)
+			}
+			if d.endLine < d.line {
+				t.Fatalf("directive span ends (%d) before it starts (%d) for input %q", d.endLine, d.line, comment)
+			}
+			if d.file != "fuzz.go" {
+				t.Fatalf("directive attributed to %q, want fuzz.go", d.file)
+			}
+		}
+		// The suppress step must also hold up: unknown analyzers become
+		// findings, never panics, regardless of the directive bytes.
+		known := map[string]bool{"maporder": true}
+		ran := map[string]bool{"maporder": true}
+		_ = suppress(fset, nil, dirs, ran, known)
+	})
+}

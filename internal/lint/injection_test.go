@@ -1,0 +1,194 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// preV3Suite is the eight-analyzer suite as it stood before the
+// state-integrity analyzers landed. Each injection test below runs it as
+// a control: the smuggled violation must be invisible to the old suite
+// and caught by the new analyzer, or the new analyzer adds nothing.
+func preV3Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lint.CtxFlow, lint.MapOrder, lint.NilTelemetry, lint.NoWallTime,
+		lint.PoolOnly, lint.Purity, lint.RaceCapture, lint.SeededRand,
+	}
+}
+
+// TestInjectedUnsnapshottedFieldIsCaught proves snapshotfields closes the
+// schema-drift hole: a mutable field added to a checkpointed type but
+// forgotten in both halves of its Export/Restore pair — the exact bug
+// class that resumes a study almost-bit-identically — is two findings at
+// the field, and invisible to the old suite.
+func TestInjectedUnsnapshottedFieldIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/crawler": {{
+			Name: "zz_injected_gauge.go",
+			Src: `package crawler
+
+// zzGauge mimics a stats field bolted onto the crawl path: val made it
+// into the snapshot, peak did not.
+type zzGauge struct {
+	val  int64
+	peak int64
+}
+
+func (g *zzGauge) bump(d int64) {
+	g.val += d
+	if g.val > g.peak {
+		g.peak = g.val
+	}
+}
+
+type zzGaugeState struct{ Val int64 }
+
+func (g *zzGauge) ExportState() zzGaugeState    { return zzGaugeState{Val: g.val} }
+func (g *zzGauge) RestoreState(st zzGaugeState) { g.val = st.Val }
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/crawler")
+	if err != nil {
+		t.Fatalf("loading crawler with injected field: %v", err)
+	}
+
+	base, err := lint.Run(pkgs, preV3Suite(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running pre-v3 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v3 suite reported the un-snapshotted field — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var missExport, missRestore bool
+	for _, f := range findings {
+		if f.Analyzer != lint.SnapshotFields.Name || filepath.Base(f.File) != "zz_injected_gauge.go" {
+			continue
+		}
+		if strings.Contains(f.Message, "field peak of zzGauge") && strings.Contains(f.Message, "never read by ExportState") {
+			missExport = true
+		}
+		if strings.Contains(f.Message, "field peak of zzGauge") && strings.Contains(f.Message, "never written by RestoreState") {
+			missRestore = true
+		}
+	}
+	if !missExport || !missRestore {
+		t.Fatalf("smuggled field not fully caught (export=%v restore=%v); findings: %+v", missExport, missRestore, findings)
+	}
+}
+
+// TestInjectedSendWhileLockedIsCaught proves lockdiscipline bites in the
+// real studysvc package: a Manager method sending on a channel while
+// holding m.mu — a wedge waiting for one slow receiver — is a finding,
+// and the old suite (which never scoped studysvc at all) says nothing.
+func TestInjectedSendWhileLockedIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/studysvc": {{
+			Name: "zz_injected_broadcast.go",
+			Src: `package studysvc
+
+// zzBroadcast blocks every Manager caller behind one slow subscriber.
+func (m *Manager) zzBroadcast(ch chan<- string, msg string) {
+	m.mu.Lock()
+	ch <- msg
+	m.mu.Unlock()
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/studysvc")
+	if err != nil {
+		t.Fatalf("loading studysvc with injected send: %v", err)
+	}
+
+	base, err := lint.Run(pkgs, preV3Suite(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running pre-v3 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v3 suite reported the send-while-locked — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.LockDiscipline.Name && filepath.Base(f.File) == "zz_injected_broadcast.go" {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 || !strings.Contains(hit[0].Message, "channel send while holding m.mu") {
+		t.Fatalf("injected send-while-locked not caught; findings: %+v", findings)
+	}
+}
+
+// TestInjectedSprintfInHtmlgenIsCaught proves hotalloc guards the
+// zero-alloc property statically: one fmt.Sprintf added to htmlgen — the
+// regression the bench ratchet only catches after the numbers move — is a
+// finding, and the old suite passes it clean.
+func TestInjectedSprintfInHtmlgenIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/htmlgen": {{
+			Name: "zz_injected_sprintf.go",
+			Src: `package htmlgen
+
+import "fmt"
+
+// zzTitle allocates a fresh string per page render.
+func zzTitle(rank int, domain string) string {
+	return fmt.Sprintf("%d-%s", rank, domain)
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/htmlgen")
+	if err != nil {
+		t.Fatalf("loading htmlgen with injected Sprintf: %v", err)
+	}
+
+	base, err := lint.Run(pkgs, preV3Suite(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running pre-v3 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v3 suite reported the Sprintf — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.HotAlloc.Name && filepath.Base(f.File) == "zz_injected_sprintf.go" {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 || !strings.Contains(hit[0].Message, "fmt.Sprintf") {
+		t.Fatalf("injected Sprintf not caught; findings: %+v", findings)
+	}
+}

@@ -37,7 +37,9 @@ import (
 // All returns the full sslint analyzer suite.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
-		CtxFlow, MapOrder, NilTelemetry, NoWallTime, PoolOnly, Purity, RaceCapture, SeededRand,
+		APICodes, CtxFlow, FaultBoundary, HotAlloc, LockDiscipline, MapOrder,
+		NilTelemetry, NoWallTime, PoolOnly, Purity, RaceCapture, SeededRand,
+		SnapshotFields,
 	}
 }
 

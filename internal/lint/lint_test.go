@@ -57,3 +57,34 @@ func TestCtxFlow(t *testing.T) {
 func TestDirectives(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.All(), "ignoredir")
 }
+
+func TestSnapshotFields(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.SnapshotFields), "snapshotfields")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.LockDiscipline), "lockdiscipline")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.HotAlloc), "hotalloc")
+}
+
+// TestFaultBoundary needs an explicit scope: the wrap rule reports across
+// the wiring packages while the net/http import ban consults the narrower
+// "faultboundary/imports" pseudo-key — exactly how DefaultScope carves the
+// real module.
+func TestFaultBoundary(t *testing.T) {
+	scope := &lint.Scope{
+		Packages: map[string][]string{
+			lint.FaultBoundary.Name: {"faultboundary/..."},
+			"faultboundary/imports": {"faultboundary/sim"},
+		},
+	}
+	analysistest.RunScoped(t, "testdata/src", one(lint.FaultBoundary), scope,
+		"faultboundary/cmdpkg", "faultboundary/sim")
+}
+
+func TestAPICodes(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(lint.APICodes), "apicodes")
+}

@@ -1,0 +1,640 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockDiscipline enforces the service plane's mutex and slot-semaphore
+// contracts.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: `mutexes release on every path and never guard blocking operations
+
+The study service multiplexes many tenants over a handful of short
+critical sections; one leaked or blocking-while-held mutex stalls the
+whole /v1 plane. Three rules, checked path-sensitively per function:
+
+(1) every sync.Mutex/RWMutex Lock/RLock is paired with an Unlock/RUnlock
+(or a defer of one) on every path out of the function, and branches may
+not disagree about what is held; (2) no blocking operation — a channel
+send, a sync.WaitGroup.Wait, or a write to an http.ResponseWriter — runs
+while any mutex is held (a channel *receive* is allowed: releasing a slot
+semaphore under the handle lock is the sanctioned OnDayEnd pattern);
+(3) the day-slot semaphore is pair-checked: a channel-typed struct field
+a package's OnDayStart hook acquires (sends to) must be released
+(received from) by an OnDayEnd hook in the same package, and vice versa —
+an unmatched acquire leaks a day slot forever and starves the fleet.`,
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *analysis.Pass) (any, error) {
+	sem := newSemPairs()
+	// Collect every declared function body first: a hook assignment may
+	// reference a function declared later in the file.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				sem.bodies[fn] = fd.Body
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, fd.Body, fd.Name.Name)
+			// Function literals get their own flow analysis: a closure's
+			// lock lifetime is its own call, not its creator's.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockFlow(pass, lit.Body, fd.Name.Name+" (closure)")
+				}
+				return true
+			})
+			sem.scanHookAssigns(pass, fd)
+		}
+	}
+	sem.report(pass)
+	return nil, nil
+}
+
+// ---- mutex flow analysis ----
+
+// lockState is the set of held mutexes at one program point, keyed by the
+// rendered receiver expression ("h.mu", "sh.mu"). defer-released locks
+// stay in the set (they are held until return) but never trip the
+// release-on-all-paths rule.
+type lockState struct {
+	held map[string]token.Pos // key -> Lock position
+	def  map[string]bool      // key -> released by defer
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[string]token.Pos), def: make(map[string]bool)}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.def {
+		c.def[k] = v
+	}
+	return c
+}
+
+// leaked returns the held keys not covered by a defer, sorted.
+func (s *lockState) leaked() []string {
+	var out []string
+	for k := range s.held {
+		if !s.def[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *lockState) equal(o *lockState) bool {
+	if len(s.held) != len(o.held) {
+		return false
+	}
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockFlow walks one function body tracking held mutexes.
+type lockFlow struct {
+	pass  *analysis.Pass
+	fname string
+}
+
+// checkLockFlow runs the path-sensitive analysis over one function body.
+func checkLockFlow(pass *analysis.Pass, body *ast.BlockStmt, fname string) {
+	lf := &lockFlow{pass: pass, fname: fname}
+	out, _ := lf.block(body, newLockState())
+	for _, k := range out.leaked() {
+		pass.Reportf(out.held[k], "%s: %s.Lock() is not released on the fall-through path; add the missing Unlock or defer it", fname, k)
+	}
+}
+
+// block processes a statement list. Returns the fall-through state and
+// whether the list terminates (return/panic on every path).
+func (lf *lockFlow) block(b *ast.BlockStmt, in *lockState) (*lockState, bool) {
+	st := in
+	for _, s := range b.List {
+		var term bool
+		st, term = lf.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt processes one statement, returning the out-state and whether the
+// statement terminates the path.
+func (lf *lockFlow) stmt(s ast.Stmt, in *lockState) (*lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lf.expr(s.X, in)
+		return in, false
+	case *ast.SendStmt:
+		lf.expr(s.Chan, in)
+		lf.expr(s.Value, in)
+		if ks := in.leakedOrDeferred(); len(ks) > 0 {
+			lf.pass.Reportf(s.Arrow, "%s: channel send while holding %s; a blocked receiver wedges every caller of this lock", lf.fname, ks[0])
+		}
+		return in, false
+	case *ast.DeferStmt:
+		if key, op, ok := lf.mutexOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			if _, held := in.held[key]; held {
+				in.def[key] = true
+			}
+		}
+		// Arguments of the deferred call evaluate now.
+		for _, a := range s.Call.Args {
+			lf.expr(a, in)
+		}
+		return in, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lf.expr(e, in)
+		}
+		for _, e := range s.Lhs {
+			lf.expr(e, in)
+		}
+		return in, false
+	case *ast.IncDecStmt:
+		lf.expr(s.X, in)
+		return in, false
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				lf.expr(e, in)
+				return false
+			}
+			return true
+		})
+		return in, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lf.expr(e, in)
+		}
+		for _, k := range in.leaked() {
+			lf.pass.Reportf(s.Pos(), "%s: returns while holding %s; release it before returning or defer the Unlock", lf.fname, k)
+		}
+		return in, true
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as terminating this list (the
+		// loop-level balance check below catches imbalance across
+		// iterations).
+		return in, true
+	case *ast.BlockStmt:
+		return lf.block(s, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			var term bool
+			in, term = lf.stmt(s.Init, in)
+			if term {
+				return in, true
+			}
+		}
+		lf.expr(s.Cond, in)
+		thenSt, thenTerm := lf.block(s.Body, in.clone())
+		elseSt, elseTerm := in.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = lf.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenSt, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			if !thenSt.equal(elseSt) {
+				lf.pass.Reportf(s.If, "%s: branches disagree about held mutexes (one path holds %v, the other %v); release on both or neither", lf.fname, thenSt.heldKeys(), elseSt.heldKeys())
+			}
+			return thenSt, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in, _ = lf.stmt(s.Init, in)
+		}
+		if s.Cond != nil {
+			lf.expr(s.Cond, in)
+		}
+		bodySt, _ := lf.block(s.Body, in.clone())
+		if s.Post != nil {
+			bodySt, _ = lf.stmt(s.Post, bodySt)
+		}
+		if !bodySt.equal(in) {
+			lf.pass.Reportf(s.For, "%s: loop body changes the held-mutex set (%v -> %v); a lock taken in one iteration leaks into the next", lf.fname, in.heldKeys(), bodySt.heldKeys())
+		}
+		return in, false
+	case *ast.RangeStmt:
+		lf.expr(s.X, in)
+		bodySt, _ := lf.block(s.Body, in.clone())
+		if !bodySt.equal(in) {
+			lf.pass.Reportf(s.For, "%s: loop body changes the held-mutex set (%v -> %v); a lock taken in one iteration leaks into the next", lf.fname, in.heldKeys(), bodySt.heldKeys())
+		}
+		return in, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in, _ = lf.stmt(s.Init, in)
+		}
+		if s.Tag != nil {
+			lf.expr(s.Tag, in)
+		}
+		return lf.caseBodies(s.Body, in, s.Switch)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in, _ = lf.stmt(s.Init, in)
+		}
+		return lf.caseBodies(s.Body, in, s.Switch)
+	case *ast.SelectStmt:
+		outs := make([]*lockState, 0, len(s.Body.List))
+		allTerm := len(s.Body.List) > 0
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			st := in.clone()
+			if cc.Comm != nil {
+				var term bool
+				st, term = lf.stmt(cc.Comm, st)
+				_ = term
+			}
+			term := false
+			for _, bs := range cc.Body {
+				st, term = lf.stmt(bs, st)
+				if term {
+					break
+				}
+			}
+			if !term {
+				outs = append(outs, st)
+				allTerm = false
+			}
+		}
+		if len(outs) == 0 {
+			if allTerm {
+				return in, true
+			}
+			return in, false
+		}
+		for _, o := range outs[1:] {
+			if !o.equal(outs[0]) {
+				lf.pass.Reportf(s.Select, "%s: select cases disagree about held mutexes; release on every case", lf.fname)
+				break
+			}
+		}
+		return outs[0], false
+	case *ast.GoStmt:
+		// The goroutine body is analyzed as its own function literal.
+		for _, a := range s.Call.Args {
+			lf.expr(a, in)
+		}
+		return in, false
+	case *ast.LabeledStmt:
+		return lf.stmt(s.Stmt, in)
+	default:
+		return in, false
+	}
+}
+
+// caseBodies merges switch case bodies like if branches.
+func (lf *lockFlow) caseBodies(body *ast.BlockStmt, in *lockState, pos token.Pos) (*lockState, bool) {
+	var outs []*lockState
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		st := in.clone()
+		term := false
+		for _, bs := range cc.Body {
+			st, term = lf.stmt(bs, st)
+			if term {
+				break
+			}
+		}
+		if !term {
+			outs = append(outs, st)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, in.clone()) // no case taken
+	}
+	if len(outs) == 0 {
+		return in, true
+	}
+	for _, o := range outs[1:] {
+		if !o.equal(outs[0]) {
+			lf.pass.Reportf(pos, "%s: switch cases disagree about held mutexes; release on every case", lf.fname)
+			break
+		}
+	}
+	return outs[0], false
+}
+
+// expr handles Lock/Unlock calls and blocking operations inside an
+// expression. Function literals are skipped — they run later, under their
+// own analysis.
+func (lf *lockFlow) expr(e ast.Expr, st *lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op, ok := lf.mutexOp(call); ok {
+			switch op {
+			case "Lock", "RLock":
+				st.held[key] = call.Pos()
+			case "Unlock", "RUnlock":
+				delete(st.held, key)
+				delete(st.def, key)
+			}
+			return true
+		}
+		lf.blockingCall(call, st)
+		return true
+	})
+}
+
+// blockingCall reports blocking operations performed while a mutex is
+// held: WaitGroup.Wait and writes to an http.ResponseWriter.
+func (lf *lockFlow) blockingCall(call *ast.CallExpr, st *lockState) {
+	ks := st.leakedOrDeferred()
+	if len(ks) == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvT := lf.pass.TypesInfo.TypeOf(sel.X)
+	if recvT == nil {
+		return
+	}
+	if sel.Sel.Name == "Wait" && isSyncType(recvT, "WaitGroup") {
+		lf.pass.Reportf(call.Pos(), "%s: WaitGroup.Wait while holding %s; waiters that need the lock deadlock", lf.fname, ks[0])
+	}
+	if isResponseWriter(recvT) {
+		lf.pass.Reportf(call.Pos(), "%s: http.ResponseWriter.%s while holding %s; a slow client stalls the critical section", lf.fname, sel.Sel.Name, ks[0])
+	}
+}
+
+// leakedOrDeferred returns every held mutex key (defer-released included:
+// the lock is still held when a blocking op runs), sorted.
+func (s *lockState) leakedOrDeferred() []string {
+	var out []string
+	for k := range s.held {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *lockState) heldKeys() []string { return s.leakedOrDeferred() }
+
+// mutexOp matches mu.Lock()/RLock()/Unlock()/RUnlock() on a
+// sync.Mutex/RWMutex-typed receiver and returns the rendered receiver key.
+func (lf *lockFlow) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := lf.pass.TypesInfo.TypeOf(sel.X)
+	if !isSyncType(t, "Mutex") && !isSyncType(t, "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isSyncType reports whether t (or its pointee) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// ---- slot-semaphore pairing ----
+
+// semPairs accumulates, per package, which channel-typed struct fields the
+// OnDayStart hooks acquire and the OnDayEnd hooks release.
+type semPairs struct {
+	acquires map[*types.Var]token.Pos // sem field -> send position (OnDayStart)
+	releases map[*types.Var]token.Pos // sem field -> recv position (OnDayEnd)
+	// funcBodies maps same-package declared functions to their bodies so
+	// hook closures that delegate to helpers are still searched.
+	bodies map[*types.Func]*ast.BlockStmt
+}
+
+func newSemPairs() *semPairs {
+	return &semPairs{
+		acquires: make(map[*types.Var]token.Pos),
+		releases: make(map[*types.Var]token.Pos),
+		bodies:   make(map[*types.Func]*ast.BlockStmt),
+	}
+}
+
+// scanHookAssigns finds `x.OnDayStart = f` / `x.OnDayEnd = f` assignments
+// and records the semaphore operations reachable from f.
+func (sp *semPairs) scanHookAssigns(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			hook := sel.Sel.Name
+			if hook != "OnDayStart" && hook != "OnDayEnd" {
+				continue
+			}
+			body := sp.hookBody(pass, as.Rhs[i])
+			if body == nil {
+				continue
+			}
+			sends, recvs := sp.chanFieldOps(pass, body, make(map[*types.Func]bool))
+			if hook == "OnDayStart" {
+				for v, pos := range sends {
+					if _, seen := sp.acquires[v]; !seen {
+						sp.acquires[v] = pos
+					}
+				}
+			} else {
+				for v, pos := range recvs {
+					if _, seen := sp.releases[v]; !seen {
+						sp.releases[v] = pos
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hookBody resolves the assigned hook expression to a function body: a
+// literal, or a same-package declared function/method value.
+func (sp *semPairs) hookBody(pass *analysis.Pass, e ast.Expr) *ast.BlockStmt {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return e.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[e].(*types.Func); ok {
+			return sp.bodies[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			return sp.bodies[fn]
+		}
+	}
+	return nil
+}
+
+// chanFieldOps collects sends to and receives from channel-typed struct
+// fields reachable from body: directly, or through statically-resolved
+// same-package callees (hooks that delegate their semaphore handling).
+func (sp *semPairs) chanFieldOps(pass *analysis.Pass, body *ast.BlockStmt, seen map[*types.Func]bool) (sends, recvs map[*types.Var]token.Pos) {
+	sends = make(map[*types.Var]token.Pos)
+	recvs = make(map[*types.Var]token.Pos)
+	merge := func(dst, src map[*types.Var]token.Pos) {
+		for v, p := range src {
+			if _, ok := dst[v]; !ok {
+				dst[v] = p
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if v := chanFieldOf(pass, n.Chan); v != nil {
+				if _, ok := sends[v]; !ok {
+					sends[v] = n.Arrow
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if v := chanFieldOf(pass, n.X); v != nil {
+					if _, ok := recvs[v]; !ok {
+						recvs[v] = n.OpPos
+					}
+				}
+			}
+		case *ast.CallExpr:
+			var fn *types.Func
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+			if fn == nil || seen[fn] {
+				break
+			}
+			if b := sp.bodies[fn]; b != nil {
+				seen[fn] = true
+				s2, r2 := sp.chanFieldOps(pass, b, seen)
+				merge(sends, s2)
+				merge(recvs, r2)
+			}
+		}
+		return true
+	})
+	return sends, recvs
+}
+
+// chanFieldOf resolves e to a channel-typed struct field, or nil.
+func chanFieldOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return v
+}
+
+// report flags unmatched semaphore halves.
+func (sp *semPairs) report(pass *analysis.Pass) {
+	var acq []*types.Var
+	for v := range sp.acquires {
+		acq = append(acq, v)
+	}
+	sort.Slice(acq, func(i, j int) bool { return acq[i].Pos() < acq[j].Pos() })
+	for _, v := range acq {
+		if _, ok := sp.releases[v]; !ok {
+			pass.Reportf(sp.acquires[v],
+				"OnDayStart acquires slot semaphore %s but no OnDayEnd in this package releases it; every day leaks a slot until the fleet starves", v.Name())
+		}
+	}
+	var rel []*types.Var
+	for v := range sp.releases {
+		rel = append(rel, v)
+	}
+	sort.Slice(rel, func(i, j int) bool { return rel[i].Pos() < rel[j].Pos() })
+	for _, v := range rel {
+		if _, ok := sp.acquires[v]; !ok {
+			pass.Reportf(sp.releases[v],
+				"OnDayEnd releases slot semaphore %s but no OnDayStart in this package acquires it; the release blocks or frees a slot that was never taken", v.Name())
+		}
+	}
+}

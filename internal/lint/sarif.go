@@ -2,7 +2,15 @@ package lint
 
 import (
 	"encoding/json"
+	"sort"
 )
+
+// helpBaseURI anchors rule documentation to DESIGN.md §6. The repo has no
+// canonical public host, so the authority is the RFC 2606 reserved
+// ".invalid" TLD: the URI stays absolute (the SARIF schema requires
+// format "uri" for helpUri) while the path and fragment name the in-repo
+// doc anchor — strip the host and the link resolves against a checkout.
+const helpBaseURI = "https://repro.invalid/DESIGN.md"
 
 // SARIF serializes finalized findings as a minimal, valid SARIF 2.1.0 log
 // — the format GitHub code scanning and most CI annotators ingest. One
@@ -18,6 +26,7 @@ func SARIF(findings []Finding) ([]byte, error) {
 		ID               string       `json:"id"`
 		Name             string       `json:"name,omitempty"`
 		ShortDescription sarifMessage `json:"shortDescription"`
+		HelpURI          string       `json:"helpUri,omitempty"`
 	}
 	type sarifArtifactLocation struct {
 		URI       string `json:"uri"`
@@ -59,27 +68,33 @@ func SARIF(findings []Finding) ([]byte, error) {
 		Runs    []sarifRun `json:"runs"`
 	}
 
+	// The full rule registry ships on every run — clean logs included —
+	// so code-scanning UIs always have the metadata to render, and a
+	// ruleId in results always resolves. "sslint" is the pseudo-rule the
+	// directive checker reports under.
 	docs := make(map[string]string)
 	for _, a := range All() {
 		docs[a.Name] = firstDocLine(a.Doc)
 	}
 	docs["sslint"] = "directive hygiene: malformed, unknown or unused //sslint:ignore"
 
-	var rules []sarifRule
-	ruleSeen := make(map[string]bool)
+	rules := make([]sarifRule, 0, len(docs))
+	for name, desc := range docs {
+		anchor := "#sslint-" + name
+		if name == "sslint" {
+			anchor = "#sslint-directives"
+		}
+		rules = append(rules, sarifRule{
+			ID:               name,
+			Name:             name,
+			ShortDescription: sarifMessage{Text: desc},
+			HelpURI:          helpBaseURI + anchor,
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
 	results := []sarifResult{}
 	for _, f := range findings {
-		if !ruleSeen[f.Analyzer] {
-			ruleSeen[f.Analyzer] = true
-			desc := docs[f.Analyzer]
-			if desc == "" {
-				desc = f.Analyzer
-			}
-			rules = append(rules, sarifRule{
-				ID:               f.Analyzer,
-				ShortDescription: sarifMessage{Text: desc},
-			})
-		}
 		results = append(results, sarifResult{
 			RuleID:  f.Analyzer,
 			Level:   "error",
@@ -95,9 +110,6 @@ func SARIF(findings []Finding) ([]byte, error) {
 			}},
 			PartialFingerprints: map[string]string{"sslintId": f.ID},
 		})
-	}
-	if rules == nil {
-		rules = []sarifRule{}
 	}
 
 	log := sarifLog{

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestSARIFRuleMetadata pins the reporting contract: every analyzer (plus
+// the "sslint" directive pseudo-rule) ships a reportingDescriptor with a
+// shortDescription and an absolute helpUri anchored into DESIGN.md §6 —
+// on every run, findings or not — and results reference rules by ID.
+func TestSARIFRuleMetadata(t *testing.T) {
+	data, err := SARIF([]Finding{{
+		ID:       "deadbeefdeadbeef",
+		Analyzer: "hotalloc",
+		File:     "internal/htmlgen/page.go",
+		Line:     3,
+		Column:   7,
+		Message:  "fmt.Sprintf allocates",
+	}})
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID               string `json:"id"`
+						Name             string `json:"name"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						HelpURI string `json:"helpUri"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("unmarshalling SARIF: %v", err)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	wantRules := len(All()) + 1 // + the "sslint" directive pseudo-rule
+	if len(rules) != wantRules {
+		t.Fatalf("got %d rules, want %d (every analyzer plus sslint)", len(rules), wantRules)
+	}
+	byID := make(map[string]bool)
+	for _, r := range rules {
+		byID[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		u, err := url.Parse(r.HelpURI)
+		if err != nil || !u.IsAbs() {
+			t.Errorf("rule %s helpUri %q is not an absolute URI (SARIF schema requires format uri)", r.ID, r.HelpURI)
+		}
+		if !strings.Contains(r.HelpURI, "DESIGN.md#sslint-") {
+			t.Errorf("rule %s helpUri %q does not anchor into DESIGN.md §6", r.ID, r.HelpURI)
+		}
+	}
+	for _, a := range All() {
+		if !byID[a.Name] {
+			t.Errorf("analyzer %s missing from the SARIF rule registry", a.Name)
+		}
+	}
+	if !byID["sslint"] {
+		t.Error("directive pseudo-rule missing from the SARIF rule registry")
+	}
+	if got := log.Runs[0].Results[0].RuleID; got != "hotalloc" {
+		t.Errorf("result ruleId = %q, want hotalloc", got)
+	}
+	if !byID[log.Runs[0].Results[0].RuleID] {
+		t.Error("result references a ruleId absent from the registry")
+	}
+}

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SnapshotFields proves checkpoint schema completeness: for every type
+// with an Export<S>/Restore<S> method pair, every mutable field must be
+// captured by the export and written back by the restore.
+var SnapshotFields = &analysis.Analyzer{
+	Name: "snapshotfields",
+	Doc: `every mutable field of a checkpointed type must be exported and restored
+
+A type that declares an Export<S>/Restore<S> method pair (ExportState/
+RestoreState, ExportCache/RestoreCache, ...) is a checkpoint participant:
+a resumed study is bit-identical to an uninterrupted one only if the pair
+round-trips the complete mutable state. The classic regression is silent —
+a field added to the struct and mutated by some method, but forgotten in
+the snapshot, resumes a study that is *almost* right and diverges the
+fingerprint days later. This analyzer makes it a build-time finding.
+
+A field is mutable if any pointer-receiver method of the type (other than
+the pair itself) assigns it — directly, through a local aliasing it (via
+selector, index, address-of or dereference chains), via the copy/delete/
+clear builtins, or by calling a known mutator method on it (Store, Add,
+Swap, Inc, ... — and any method of an internal/rng source, since drawing
+advances the stream position). The export must reference the field; the
+restore must write it by the same rules (a mutating method call such as
+r.Restore(...) or fetches.Store(...) counts).
+
+Exempt by construction: sync.Mutex/RWMutex/WaitGroup/Once fields (guards,
+not state), func-typed fields (wiring installed by the driver), and
+fields whose type lives in internal/telemetry or internal/parallel
+(observation-only, proven fingerprint-neutral — the same rationale as the
+purity trust list).`,
+	Run: runSnapshotFields,
+}
+
+// snapMutatorNames are method names that mutate their receiver when called
+// on a field: the sync/atomic write API plus the telemetry-style counters
+// (for non-exempt lookalikes) and the rng restore verbs.
+var snapMutatorNames = map[string]bool{
+	"Store": true, "Add": true, "Swap": true, "CompareAndSwap": true,
+	"Inc": true, "Dec": true, "Observe": true, "Restore": true, "Seed": true,
+}
+
+// snapExemptPkgPaths hold field types that are observational or driving-
+// only: never part of the dataset fingerprint, so never snapshot state.
+var snapExemptPkgPaths = map[string]bool{
+	"repro/internal/telemetry": true,
+	"repro/internal/parallel":  true,
+}
+
+// snapPair is one Export<S>/Restore<S> pair on one named struct type.
+type snapPair struct {
+	typ     *types.Named
+	suffix  string
+	export  *ast.FuncDecl
+	restore *ast.FuncDecl
+}
+
+func runSnapshotFields(pass *analysis.Pass) (any, error) {
+	// Group pointer-receiver methods by named receiver type.
+	methods := make(map[*types.Named][]*ast.FuncDecl)
+	var order []*types.Named
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := recvNamed(pass, fd)
+			if named == nil {
+				continue
+			}
+			if _, seen := methods[named]; !seen {
+				order = append(order, named)
+			}
+			methods[named] = append(methods[named], fd)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Obj().Name() < order[j].Obj().Name() })
+
+	for _, named := range order {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for _, pair := range snapPairs(methods[named]) {
+			pair.typ = named
+			checkSnapshotPair(pass, st, pair, methods[named])
+		}
+	}
+	return nil, nil
+}
+
+// recvNamed resolves a method's receiver to its named type (through one
+// pointer), or nil.
+func recvNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// snapPairs finds Export<S>/Restore<S> pairs among one type's methods.
+func snapPairs(decls []*ast.FuncDecl) []snapPair {
+	exports := make(map[string]*ast.FuncDecl)
+	restores := make(map[string]*ast.FuncDecl)
+	for _, fd := range decls {
+		name := fd.Name.Name
+		if s, ok := strings.CutPrefix(name, "Export"); ok && s != "" {
+			exports[s] = fd
+		}
+		if s, ok := strings.CutPrefix(name, "Restore"); ok && s != "" {
+			restores[s] = fd
+		}
+	}
+	var suffixes []string
+	for s := range exports {
+		if restores[s] != nil {
+			suffixes = append(suffixes, s)
+		}
+	}
+	sort.Strings(suffixes)
+	pairs := make([]snapPair, 0, len(suffixes))
+	for _, s := range suffixes {
+		pairs = append(pairs, snapPair{suffix: s, export: exports[s], restore: restores[s]})
+	}
+	return pairs
+}
+
+// snapFieldExempt reports whether a struct field is outside the snapshot
+// contract: lock guards, wiring callbacks, observation-only handles.
+func snapFieldExempt(fld *types.Var) bool {
+	t := fld.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Signature); ok {
+		return true // func-typed wiring (OnSeize, OnReact, hooks)
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync":
+		return true // Mutex, RWMutex, WaitGroup, Once: guards, not state
+	}
+	return snapExemptPkgPaths[pkg.Path()]
+}
+
+// fieldIsRNG reports whether the field's type is an internal/rng stream,
+// whose every draw mutates it.
+func fieldIsRNG(fld *types.Var) bool {
+	t := fld.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "repro/internal/rng"
+}
+
+// checkSnapshotPair reports mutable fields the pair fails to round-trip.
+func checkSnapshotPair(pass *analysis.Pass, st *types.Struct, pair snapPair, decls []*ast.FuncDecl) {
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+
+	// Mutable fields: written by any pointer-receiver method other than
+	// the pair itself. Remember one mutating method name per field for the
+	// diagnostic.
+	mutatedBy := make(map[*types.Var]string)
+	for _, fd := range decls {
+		if fd == pair.export || fd == pair.restore {
+			continue
+		}
+		if _, ok := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type).(*types.Pointer); !ok {
+			continue // value receiver: writes stay local
+		}
+		for fld := range snapWrites(pass, fd, fields) {
+			if _, seen := mutatedBy[fld]; !seen {
+				mutatedBy[fld] = fd.Name.Name
+			}
+		}
+	}
+
+	exported := snapReferences(pass, pair.export, fields)
+	restored := snapWrites(pass, pair.restore, fields)
+
+	var flds []*types.Var
+	for fld := range mutatedBy {
+		flds = append(flds, fld)
+	}
+	sort.Slice(flds, func(i, j int) bool { return flds[i].Pos() < flds[j].Pos() })
+	for _, fld := range flds {
+		if snapFieldExempt(fld) {
+			continue
+		}
+		if !exported[fld] {
+			pass.Reportf(fld.Pos(),
+				"field %s of %s is mutated by %s but never read by %s: the snapshot misses state and a resumed run diverges",
+				fld.Name(), pair.typ.Obj().Name(), mutatedBy[fld], pair.export.Name.Name)
+		}
+		if !restored[fld] {
+			pass.Reportf(fld.Pos(),
+				"field %s of %s is mutated by %s but never written by %s: restore leaves stale state behind",
+				fld.Name(), pair.typ.Obj().Name(), mutatedBy[fld], pair.restore.Name.Name)
+		}
+	}
+}
+
+// snapReferences collects every struct field of the receiver's type that
+// the method mentions at all (export only needs to read).
+func snapReferences(pass *analysis.Pass, fd *ast.FuncDecl, fields map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Selections[sel]; ok && v.Kind() == types.FieldVal {
+			if fld, ok := v.Obj().(*types.Var); ok && fields[fld] {
+				out[fld] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// snapWrites collects the receiver fields a method writes: direct
+// assignments, writes through aliasing locals, copy/delete/clear builtins,
+// and mutator method calls (Store/Add/.../rng draws). The taint pass is a
+// single forward walk in source order — aliases are established before
+// they are written in every pattern the codebase uses.
+func snapWrites(pass *analysis.Pass, fd *ast.FuncDecl, fields map[*types.Var]bool) map[*types.Var]bool {
+	written := make(map[*types.Var]bool)
+	// taint maps a local variable to the receiver fields its value may
+	// alias (sh := &c.shards[i] taints sh with {shards}).
+	taint := make(map[*types.Var]map[*types.Var]bool)
+
+	rootFields := func(e ast.Expr) map[*types.Var]bool {
+		return snapRoots(pass, e, fields, taint)
+	}
+	markWrite := func(e ast.Expr) {
+		for fld := range rootFields(e) {
+			written[fld] = true
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Taint first (RHS evaluates before the store), then record
+			// field writes for each LHS.
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if id, ok := lhs.(*ast.Ident); ok && rhs != nil {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						taint[v] = rootFields(rhs)
+						continue
+					}
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && !fields[v] {
+						taint[v] = rootFields(rhs)
+						continue
+					}
+				}
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				// copy/delete/clear mutate their first argument.
+				if (fun.Name == "copy" || fun.Name == "delete" || fun.Name == "clear") && len(n.Args) > 0 {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						markWrite(n.Args[0])
+					}
+				}
+			case *ast.SelectorExpr:
+				// A mutator method called on a field (fetches.Store,
+				// r.Restore) — or any method of an rng stream — writes it.
+				sel, ok := pass.TypesInfo.Selections[fun]
+				if !ok || sel.Kind() != types.MethodVal {
+					break
+				}
+				roots := rootFields(fun.X)
+				if len(roots) == 0 {
+					break
+				}
+				if snapMutatorNames[fun.Sel.Name] {
+					for fld := range roots {
+						written[fld] = true
+					}
+					break
+				}
+				for fld := range roots {
+					if fieldIsRNG(fld) {
+						written[fld] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// snapRoots resolves an expression to the set of receiver fields it may
+// alias: the field at the base of its selector/index/star/addr chain, or a
+// tainted local's field set. Calls and composite expressions root nothing.
+func snapRoots(pass *analysis.Pass, e ast.Expr, fields map[*types.Var]bool, taint map[*types.Var]map[*types.Var]bool) map[*types.Var]bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if fld, ok := sel.Obj().(*types.Var); ok && fields[fld] {
+					return map[*types.Var]bool{fld: true}
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+				if fields[v] {
+					return map[*types.Var]bool{v: true}
+				}
+				if t := taint[v]; len(t) > 0 {
+					return t
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Fixtures for apicodes: error codes come from the declared registry and
+// json tags stay snake_case.
+package apicodes
+
+const (
+	CodeBad       = "bad_value"
+	ErrCodeOops   = "oops"
+	looseConstant = "loose"
+)
+
+type FieldError struct {
+	Field   string `json:"field"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type spec struct {
+	MaxDays  int    `json:"max_days"`
+	BadName  int    `json:"BadName"`    // want `json tag "BadName" is not snake_case`
+	Kebabbed int    `json:"kebab-case"` // want `json tag "kebab-case" is not snake_case`
+	Skipped  string `json:"-"`
+	Untagged string
+}
+
+func writeError(status int, code, msg string) {}
+
+func use() {
+	writeError(500, CodeBad, "m")
+	writeError(500, ErrCodeOops, "m")
+	writeError(500, "raw_code", "m")    // want `error code must be a declared Code\*/ErrCode\* constant, not a raw string literal`
+	writeError(500, looseConstant, "m") // want `error code must be a declared Code\*/ErrCode\* constant, not variable looseConstant`
+
+	_ = FieldError{Field: "f", Code: CodeBad}
+	_ = FieldError{Field: "f", Code: "ad_hoc"} // want `error code must be a declared Code\*/ErrCode\* constant, not a raw string literal`
+
+	var fe FieldError
+	fe.Code = ErrCodeOops
+	fe.Code = "typo_code" // want `error code must be a declared Code\*/ErrCode\* constant, not a raw string literal`
+
+	add := func(field, code, msg string) {
+		_ = FieldError{Field: field, Code: code, Message: msg}
+	}
+	add("f", CodeBad, "m")
+	add("f", "sneaky", "m") // want `error code must be a declared Code\*/ErrCode\* constant, not a raw string literal`
+
+	local := "not_registered"
+	writeError(500, local, "m") // want `error code must be a declared Code\*/ErrCode\* constant, not variable local`
+}

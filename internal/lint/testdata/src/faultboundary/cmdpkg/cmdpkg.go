@@ -1,0 +1,34 @@
+// Package cmdpkg wires handlers the way cmd/crawlerd does; the fault
+// layer may wrap the crawl path but never the /v1 control plane.
+package cmdpkg
+
+import (
+	"net/http"
+
+	"faultboundary/faults"
+	"faultboundary/svc"
+)
+
+func wire(p *faults.Plan, m *svc.Manager, web http.Handler) {
+	_ = faults.Handler(p, web)         // crawl path: sanctioned
+	_ = faults.Handler(p, m.Handler()) // want `/v1 control plane wrapped in the fault layer`
+	_ = wrap(p, m.Handler())           // want `/v1 control plane wrapped in the fault layer`
+	_ = wrap(p, web)                   // crawl path through the helper: sanctioned
+}
+
+// wrap forwards its handler into the fault layer, so the ban follows it.
+func wrap(p *faults.Plan, h http.Handler) http.Handler {
+	return faults.Handler(p, http.TimeoutHandler(h, 0, ""))
+}
+
+func wireMux(p *faults.Plan) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/status", handleStatus)
+	return faults.Handler(p, mux) // want `/v1 control plane wrapped in the fault layer`
+}
+
+func handleStatus(w http.ResponseWriter, r *http.Request) {}
+
+func wireRoute(p *faults.Plan) http.Handler {
+	return faults.Handler(p, http.HandlerFunc(handleStatus)) // want `/v1 control plane wrapped in the fault layer`
+}

@@ -1,0 +1,9 @@
+// Package faults stubs the module's fault-injection wrapper.
+package faults
+
+import "net/http"
+
+type Plan struct{}
+
+// Handler wraps h with injected failures.
+func Handler(p *Plan, h http.Handler) http.Handler { return h }

@@ -1,0 +1,7 @@
+// Package sim stands in for a deterministic simulation package: the HTTP
+// boundary belongs to faults and simweb, never here.
+package sim
+
+import "net/http" // want `simulation package faultboundary/sim imports net/http`
+
+var _ = http.StatusOK

@@ -1,0 +1,16 @@
+// Package svc stubs the study-service control plane: a manager whose
+// Handler() builds the /v1 mux.
+package svc
+
+import "net/http"
+
+type Manager struct{}
+
+// Handler returns the /v1 API surface.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/studies", m.handleStudies)
+	return mux
+}
+
+func (m *Manager) handleStudies(w http.ResponseWriter, r *http.Request) {}

@@ -1,0 +1,69 @@
+// Fixtures for hotalloc: the allocation patterns banned inside the
+// zero-alloc packages.
+package hotalloc
+
+import "fmt"
+
+func sprintf(id int) string {
+	return fmt.Sprintf("d%d", id) // want `fmt\.Sprintf allocates its result`
+}
+
+func concatLoop(parts []string) string {
+	var s string
+	for _, p := range parts {
+		s += p // want `string \+= in a loop builds quadratic garbage`
+	}
+	return s
+}
+
+func binaryConcatLoop(parts []string) []string {
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, "<"+p) // want `string concatenation in a loop builds quadratic garbage`
+	}
+	return out
+}
+
+func makeInLoop(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, 8) // want `make\(\) inside a loop allocates every iteration`
+		out = append(out, row)
+	}
+	return out
+}
+
+func appendGrowthLoop(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append-growth in a loop on out`
+	}
+	return out
+}
+
+// sizedAppendLoop pre-sizes the buffer: growth never reallocates.
+func sizedAppendLoop(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// constConcat folds at compile time: no runtime garbage.
+func constConcat() string {
+	s := ""
+	for i := 0; i < 3; i++ {
+		s = "a" + "b"
+	}
+	return s
+}
+
+// paramAppend grows a slice of unknown origin: the caller may have sized
+// it, so the analyzer stays quiet.
+func paramAppend(out []int, n int) []int {
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -4,7 +4,7 @@ package ignoredir
 // statement covers the statement's full extent: the append finding sits
 // three lines below the directive, inside the annotated range statement.
 func multilineCovered(m map[string]int) []int {
-	var out []int
+	out := make([]int, 0, len(m))
 	//sslint:ignore maporder fixture: directive must span the whole multi-line range statement
 	for _, v := range m {
 		out = append(
@@ -18,7 +18,7 @@ func multilineCovered(m map[string]int) []int {
 // trailing proves an end-of-line directive on the first line of a
 // multi-line statement covers its later lines too.
 func trailingCovered(m map[string]int) []int {
-	var out []int
+	out := make([]int, 0, len(m))
 	for _, v := range m { //sslint:ignore maporder fixture: trailing directive on a multi-line statement
 		out = append(
 			out,

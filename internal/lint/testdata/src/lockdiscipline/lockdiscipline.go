@@ -1,0 +1,122 @@
+// Fixtures for lockdiscipline: release-on-every-path and the
+// no-blocking-while-held rule.
+package lockdiscipline
+
+import (
+	"net/http"
+	"sync"
+)
+
+type handle struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (h *handle) good() {
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+}
+
+func (h *handle) goodDefer() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+func (h *handle) goodRead() int {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	return h.n
+}
+
+func (h *handle) goodEarlyReturn(err error) error {
+	h.mu.Lock()
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.n++
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *handle) goodBothBranches(b bool) {
+	h.mu.Lock()
+	if b {
+		h.n++
+		h.mu.Unlock()
+	} else {
+		h.mu.Unlock()
+	}
+}
+
+func (h *handle) leak() {
+	h.mu.Lock() // want `leak: h\.mu\.Lock\(\) is not released on the fall-through path`
+	h.n++
+}
+
+func (h *handle) leakReturn(err error) error {
+	h.mu.Lock()
+	if err != nil {
+		return err // want `leakReturn: returns while holding h\.mu`
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *handle) disagree(b bool) {
+	h.mu.Lock()
+	if b { // want `disagree: branches disagree about held mutexes`
+		h.mu.Unlock()
+	}
+	h.mu.Unlock()
+}
+
+func (h *handle) sendWhileHeld(ch chan int) {
+	h.mu.Lock()
+	ch <- 1 // want `sendWhileHeld: channel send while holding h\.mu`
+	h.mu.Unlock()
+}
+
+// recvWhileHeld is the sanctioned OnDayEnd shape: releasing a slot
+// semaphore under the handle lock blocks nobody.
+func (h *handle) recvWhileHeld(ch chan int) {
+	h.mu.Lock()
+	<-ch
+	h.mu.Unlock()
+}
+
+func (h *handle) waitWhileHeld(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wg.Wait() // want `waitWhileHeld: WaitGroup\.Wait while holding h\.mu`
+}
+
+func (h *handle) writeWhileHeld(w http.ResponseWriter) {
+	h.mu.Lock()
+	w.WriteHeader(200) // want `writeWhileHeld: http\.ResponseWriter\.WriteHeader while holding h\.mu`
+	h.mu.Unlock()
+}
+
+func (h *handle) lockInLoop(n int) {
+	for i := 0; i < n; i++ { // want `lockInLoop: loop body changes the held-mutex set`
+		h.mu.Lock()
+	}
+}
+
+func (h *handle) lockPerIter(n int) {
+	for i := 0; i < n; i++ {
+		h.mu.Lock()
+		h.n++
+		h.mu.Unlock()
+	}
+}
+
+// closures are their own scope: the literal leaks, not the creator.
+func (h *handle) spawn() func() {
+	return func() {
+		h.mu.Lock() // want `spawn \(closure\): h\.mu\.Lock\(\) is not released on the fall-through path`
+	}
+}

@@ -1,0 +1,49 @@
+package lockdiscipline
+
+// world exposes the day-boundary hooks the studysvc manager wires.
+type world struct {
+	OnDayStart func()
+	OnDayEnd   func()
+}
+
+// mgrGood pairs the acquire and release directly.
+type mgrGood struct {
+	sem chan struct{}
+}
+
+func (m *mgrGood) wire(w *world) {
+	w.OnDayStart = func() { m.sem <- struct{}{} }
+	w.OnDayEnd = func() { <-m.sem }
+}
+
+// mgrHelper pairs them through named methods.
+type mgrHelper struct {
+	sem chan struct{}
+}
+
+func (m *mgrHelper) wire(w *world) {
+	w.OnDayStart = m.acquire
+	w.OnDayEnd = m.release
+}
+
+func (m *mgrHelper) acquire() { m.sem <- struct{}{} }
+func (m *mgrHelper) release() { <-m.sem }
+
+// mgrLeaky acquires a slot every day and never gives it back.
+type mgrLeaky struct {
+	slots chan struct{}
+}
+
+func (m *mgrLeaky) wire(w *world) {
+	w.OnDayStart = func() { m.slots <- struct{}{} } // want `OnDayStart acquires slot semaphore slots but no OnDayEnd`
+	w.OnDayEnd = func() {}
+}
+
+// mgrOrphan releases a slot nothing acquired.
+type mgrOrphan struct {
+	sem chan struct{}
+}
+
+func (m *mgrOrphan) wire(w *world) {
+	w.OnDayEnd = func() { <-m.sem } // want `OnDayEnd releases slot semaphore sem but no OnDayStart`
+}

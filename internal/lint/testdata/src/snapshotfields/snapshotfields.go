@@ -1,0 +1,103 @@
+// Fixtures for snapshotfields: every mutable field of a type with an
+// Export*/Restore* pair must be read by the export and written by the
+// restore.
+package snapshotfields
+
+// tracker smuggles a mutable field (peak) past its snapshot pair.
+type tracker struct {
+	day   int
+	peak  int // want `field peak of tracker is mutated by Advance but never read by ExportState` `field peak of tracker is mutated by Advance but never written by RestoreState`
+	notes map[string]int
+	onEvt func(int) // func-typed wiring is exempt: rebuilt by the owner, not snapshotted
+}
+
+func (t *tracker) Advance(d int) {
+	t.day = d
+	if d > t.peak {
+		t.peak = d
+	}
+	delete(t.notes, "stale")
+}
+
+type trackerState struct {
+	Day   int
+	Notes map[string]int
+}
+
+func (t *tracker) ExportState() trackerState {
+	return trackerState{Day: t.day, Notes: t.notes}
+}
+
+func (t *tracker) RestoreState(st trackerState) {
+	t.day = st.Day
+	t.notes = st.Notes
+}
+
+// lopsided exports a field but forgets to restore it.
+type lopsided struct {
+	count int // want `field count of lopsided is mutated by Bump but never written by RestoreState`
+}
+
+func (l *lopsided) Bump() { l.count++ }
+
+type lopsidedState struct{ Count int }
+
+func (l *lopsided) ExportState() lopsidedState { return lopsidedState{Count: l.count} }
+
+func (l *lopsided) RestoreState(st lopsidedState) {}
+
+// nested proves writes through local aliases count: RestoreState reaches
+// rows only via the vs alias, and that still covers the field.
+type nested struct {
+	rows map[string]*row
+	mode int
+}
+
+type row struct{ vals []int }
+
+func (n *nested) Grow(k string, v int) {
+	r := n.rows[k]
+	r.vals = append(r.vals, v)
+	n.mode = v
+}
+
+type nestedState struct {
+	Rows map[string][]int
+	Mode int
+}
+
+func (n *nested) ExportState() nestedState {
+	st := nestedState{Rows: make(map[string][]int), Mode: n.mode}
+	for k, r := range n.rows {
+		st.Rows[k] = append([]int(nil), r.vals...)
+	}
+	return st
+}
+
+func (n *nested) RestoreState(st nestedState) {
+	for k, vals := range st.Rows {
+		r := n.rows[k]
+		r.vals = append(r.vals[:0], vals...)
+	}
+	n.mode = st.Mode
+}
+
+// frozen has no mutators outside its pair, so nothing is required of the
+// snapshot.
+type frozen struct {
+	label string
+}
+
+type frozenState struct{ Label string }
+
+func (f *frozen) ExportState() frozenState    { return frozenState{Label: f.label} }
+func (f *frozen) RestoreState(st frozenState) {}
+
+// unpaired has state methods that do not form an Export/Restore pair and
+// must be left alone.
+type unpaired struct {
+	n int
+}
+
+func (u *unpaired) Inc()             { u.n++ }
+func (u *unpaired) ExportTotal() int { return u.n }

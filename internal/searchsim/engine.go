@@ -107,6 +107,8 @@ type Engine struct {
 // New builds an engine over the deployed campaigns and term sets. terms
 // maps each vertical to its monitored term set (only the first
 // cfg.TermsPerVertical terms are used).
+//
+//sslint:ignore hotalloc one-time study construction; the per-day hot path is Advance, and these maps live for the whole run
 func New(cfg Config, r *rng.Source, deps []*campaign.Deployment, terms map[brands.Vertical][]string) *Engine {
 	e := &Engine{
 		cfg:         cfg,
@@ -156,6 +158,8 @@ func New(cfg Config, r *rng.Source, deps []*campaign.Deployment, terms map[brand
 }
 
 // benignSlot synthesises a benign result for (vertical, term index, rank).
+//
+//sslint:ignore hotalloc domain format is pinned by the golden fingerprints and runs per churned slot at day boundaries, not per page
 func (e *Engine) benignSlot(v brands.Vertical, termIdx, rank int) Slot {
 	dom := fmt.Sprintf("site%d-%d.v%d.example.org", termIdx, e.r.Intn(1<<20), int(v))
 	return Slot{Rank: rank, Domain: dom, URL: "http://" + dom + "/", Root: true}

@@ -59,6 +59,44 @@ func TestHistogramQuantile(t *testing.T) {
 		}
 	})
 
+	t.Run("single bucket", func(t *testing.T) {
+		// One finite bound: everything the histogram can resolve lies in
+		// [0, 50]. Quantiles interpolate from zero across that one bucket.
+		h := HistogramSnapshot{Count: 4, Bounds: []float64{50}, Counts: []int64{4, 0}}
+		if got, want := h.Quantile(0.5), 25.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("single-bucket p50 = %v, want %v", got, want)
+		}
+		if got, want := h.Quantile(1), 50.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("single-bucket p100 = %v, want %v", got, want)
+		}
+		// All mass past the only finite bound clamps to it.
+		over := HistogramSnapshot{Count: 4, Bounds: []float64{50}, Counts: []int64{0, 4}}
+		if got, want := over.Quantile(0.5), 50.0; got != want {
+			t.Fatalf("single-bucket overflow p50 = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("q=0 and q=1 boundaries", func(t *testing.T) {
+		h := HistogramSnapshot{Count: 10, Bounds: bounds, Counts: []int64{5, 5, 0, 0}}
+		// q=0 is the distribution's floor: the bottom of the first
+		// occupied bucket's interpolation range.
+		if got := h.Quantile(0); got != 0 {
+			t.Fatalf("q=0 quantile = %v, want 0", got)
+		}
+		// q=1 walks to the top of the last occupied bucket.
+		if got, want := h.Quantile(1), 100.0; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q=1 quantile = %v, want %v", got, want)
+		}
+		// An empty histogram stays 0 at both boundaries.
+		var empty HistogramSnapshot
+		if got := empty.Quantile(0); got != 0 {
+			t.Fatalf("empty q=0 quantile = %v, want 0", got)
+		}
+		if got := empty.Quantile(1); got != 0 {
+			t.Fatalf("empty q=1 quantile = %v, want 0", got)
+		}
+	})
+
 	t.Run("live registry round trip", func(t *testing.T) {
 		reg := New()
 		h := reg.Histogram("lat_us", bounds)
