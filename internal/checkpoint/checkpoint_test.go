@@ -3,7 +3,10 @@ package checkpoint
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -129,6 +132,61 @@ func TestDecodeRejectsDamage(t *testing.T) {
 	t.Run("appended-garbage", func(t *testing.T) {
 		if _, err := Decode(append(bytes.Clone(data), 0xAB)); err == nil {
 			t.Error("accepted a file with trailing garbage")
+		}
+	})
+}
+
+// frame wraps a raw payload in the SSCKPT envelope with the given envelope
+// version byte and a correct length and checksum, so tests can probe decode
+// behaviour past the framing checks.
+func frame(version byte, payload []byte) []byte {
+	buf := make([]byte, 0, headerSize+len(payload)+8)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// TestDecodeForwardCompat pins the reader's behaviour on files written by a
+// newer build: both a newer envelope and a newer snapshot schema yield
+// their own typed errors — never ErrCorrupt, which is reserved for damage.
+func TestDecodeForwardCompat(t *testing.T) {
+	t.Run("newer-envelope", func(t *testing.T) {
+		data := frame(envelopeVersion+1, []byte(`{}`))
+		_, err := Decode(data)
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatal("a newer envelope must not be classed as corruption")
+		}
+	})
+	t.Run("newer-snapshot-schema", func(t *testing.T) {
+		payload := []byte(fmt.Sprintf(`{"Version":%d}`, core.SnapshotVersion+1))
+		_, err := Decode(frame(envelopeVersion, payload))
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("got %v, want ErrSnapshotVersion", err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatal("a newer snapshot schema must not be classed as corruption")
+		}
+	})
+	t.Run("older-snapshot-schema-loads", func(t *testing.T) {
+		// A version-1 payload predates the Version field entirely and
+		// decodes as 0; anything <= the current version must load.
+		for _, v := range []string{`{}`, `{"Version":0}`, fmt.Sprintf(`{"Version":%d}`, core.SnapshotVersion)} {
+			if _, err := Decode(frame(envelopeVersion, []byte(v))); err != nil {
+				t.Fatalf("payload %s: %v", v, err)
+			}
+		}
+	})
+	t.Run("current-snapshot-declares-version", func(t *testing.T) {
+		snap := snapshotAfter(t, 0)
+		if snap.Version != core.SnapshotVersion {
+			t.Fatalf("Snapshot() wrote Version %d, want %d", snap.Version, core.SnapshotVersion)
 		}
 	})
 }

@@ -60,6 +60,10 @@ var (
 	ErrChecksum = errors.New("checkpoint: checksum mismatch")
 	// ErrCorrupt: the framing is intact but the payload does not decode.
 	ErrCorrupt = errors.New("checkpoint: corrupt payload")
+	// ErrSnapshotVersion: the payload decodes but declares a snapshot
+	// schema newer than this build understands. Distinct from ErrCorrupt —
+	// the file is intact, the reader is just too old for it.
+	ErrSnapshotVersion = errors.New("checkpoint: snapshot schema too new")
 )
 
 // Encode serializes a snapshot into the framed, checksummed form.
@@ -106,6 +110,12 @@ func Decode(data []byte) (*core.StudySnapshot, error) {
 	snap := new(core.StudySnapshot)
 	if err := json.Unmarshal(data[headerSize:len(data)-8], snap); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// Forward compatibility: a payload written by a newer build is rejected
+	// with a typed error, never misread. Older payloads (including
+	// version-1 files predating the field, which decode as 0) pass.
+	if snap.Version > core.SnapshotVersion {
+		return nil, fmt.Errorf("%w: payload version %d, this build reads <= %d", ErrSnapshotVersion, snap.Version, core.SnapshotVersion)
 	}
 	return snap, nil
 }

@@ -29,6 +29,13 @@ func FuzzDecode(f *testing.F) {
 	badVersion[7] = 0xFF
 	f.Add(badVersion)
 
+	// A file from the "next" build: envelope one version ahead, correctly
+	// framed and checksummed — must fail typed, not crash.
+	f.Add(frame(envelopeVersion+1, []byte(`{}`)))
+	// Intact framing around a payload declaring a snapshot schema newer
+	// than this build reads.
+	f.Add(frame(envelopeVersion, []byte(`{"Version":99}`)))
+
 	// A framing that claims a payload far larger than the file.
 	huge := bytes.Clone(valid[:headerSize])
 	binary.LittleEndian.PutUint64(huge[8:16], 1<<60)

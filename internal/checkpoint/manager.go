@@ -129,48 +129,59 @@ func (m *Manager) Save(snap *core.StudySnapshot) error {
 func (m *Manager) writeAtomic(name string, data []byte) error {
 	tmp := filepath.Join(m.dir, name+".tmp")
 	final := filepath.Join(m.dir, name)
-	if m.disk.CrashAt("create", name) {
+	if m.disk.CrashAt(faults.OpCreate, name) {
 		return faults.ErrInjectedCrash
 	}
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if m.disk.CrashAt("write", name) {
-		// Torn write: half the bytes land, then the process dies.
-		f.Write(data[:len(data)/2])
-		f.Close()
-		return faults.ErrInjectedCrash
+	werr := m.writeBody(f, name, data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("checkpoint: %w", err)
+	if cerr != nil {
+		return fmt.Errorf("checkpoint: %w", cerr)
 	}
-	if m.disk.CrashAt("fsync", name) {
-		f.Close()
-		return faults.ErrInjectedCrash
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if m.disk.CrashAt("rename", name) {
+	if m.disk.CrashAt(faults.OpRename, name) {
 		return faults.ErrInjectedCrash
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if m.disk.CrashAt("dirsync", name) {
+	if m.disk.CrashAt(faults.OpDirsync, name) {
 		// The rename happened; only the directory fsync is lost. On a real
 		// crash the rename may or may not survive — both outcomes recover.
 		return faults.ErrInjectedCrash
 	}
+	//sslint:ignore errflow directory-entry fsync is best-effort; Load's newest-good fallback covers a lost entry
 	if d, err := os.Open(m.dir); err == nil {
 		d.Sync()
 		d.Close()
+	}
+	return nil
+}
+
+// writeBody runs the payload write and its kill points against the open
+// temp file. The caller closes the handle exactly once on every path, so
+// a close failure after a clean write still surfaces instead of being
+// swallowed by per-branch cleanup closes.
+func (m *Manager) writeBody(f *os.File, name string, data []byte) error {
+	if m.disk.CrashAt(faults.OpWrite, name) {
+		// Torn write: half the bytes land, then the process dies.
+		//sslint:ignore errflow a simulated kill -9 mid-write abandons the handle; there is no error path to report into
+		f.Write(data[:len(data)/2])
+		return faults.ErrInjectedCrash
+	}
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if m.disk.CrashAt(faults.OpFsync, name) {
+		return faults.ErrInjectedCrash
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
 }
@@ -198,6 +209,7 @@ func (m *Manager) list() []int {
 // ignored: stale files cost disk, never correctness (Load prefers newer).
 func (m *Manager) rotate() {
 	days := m.list()
+	//sslint:ignore errflow removal failures cost disk, never correctness: Load prefers newer snapshots
 	for len(days) > m.keep {
 		os.Remove(filepath.Join(m.dir, fileFor(days[0])))
 		os.Remove(filepath.Join(m.dir, fileFor(days[0])+".tmp"))

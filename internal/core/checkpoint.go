@@ -40,7 +40,9 @@ import (
 
 // SnapshotVersion identifies the snapshot payload schema. Bump on any
 // incompatible change to StudySnapshot or the state types it embeds.
-const SnapshotVersion = 1
+// Version 2 added the self-describing Version field to the payload;
+// version-1 payloads decode with Version 0 and remain loadable.
+const SnapshotVersion = 2
 
 // AttributionEntry is one cached classifier verdict (domain -> campaign
 // name, "" = unknown). The cache is state, not memoisation: verdicts are
@@ -130,6 +132,11 @@ type DatasetState struct {
 // boundary. ConfigHash binds it to the generating Config: a snapshot is
 // only meaningful against a world built from the same configuration.
 type StudySnapshot struct {
+	// Version is the SnapshotVersion the writing build serialized. Decoders
+	// reject payloads newer than they understand (a typed error, not a
+	// corruption class); older payloads — including version-1 files that
+	// predate the field and decode as 0 — stay loadable.
+	Version    int
 	ConfigHash uint64
 	NextDay    simclock.Day
 	Engine     searchsim.EngineState
@@ -193,6 +200,7 @@ func b2u(b bool) uint64 {
 // active).
 func (w *World) Snapshot() *StudySnapshot {
 	snap := &StudySnapshot{
+		Version:    SnapshotVersion,
 		ConfigHash: w.Cfg.ConfigHash(),
 		NextDay:    w.nextDay,
 		Engine:     w.Engine.ExportState(),

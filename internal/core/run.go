@@ -22,6 +22,7 @@ func featuresOf(body string) []string { return htmlparse.Triplets(body) }
 // interventions fire, demand flows, and (inside the crawl window) the
 // measurement pipeline observes it. It returns the completed dataset.
 func (w *World) Run() *Dataset {
+	//sslint:ignore errflow context.Background never cancels and cancellation is RunContext's only error source
 	d, _ := w.RunContext(context.Background())
 	return d
 }

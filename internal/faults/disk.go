@@ -24,6 +24,18 @@ import (
 // previous snapshot remains the latest good one.
 var ErrInjectedCrash = errors.New("faults: injected crash during checkpoint write")
 
+// The kill points of the checkpoint write protocol, in protocol order.
+// Writers pass these to CrashAt; declaring them as a const set (rather
+// than scattering string literals) puts them under the exhaustive
+// analyzer wherever code dispatches on them.
+const (
+	OpCreate  = "create"
+	OpWrite   = "write"
+	OpFsync   = "fsync"
+	OpRename  = "rename"
+	OpDirsync = "dirsync"
+)
+
 // DiskPlan schedules deterministic crashes for checkpoint writes. The zero
 // value and a nil plan never crash.
 type DiskPlan struct {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+)
+
+// CkptSchema pins the checkpoint payload contract against a checked-in
+// golden, keyed by version.
+var CkptSchema = &analysis.Analyzer{
+	Name: "ckptschema",
+	Doc: `the checkpoint payload shape matches ckpt.schema.json at its pinned version
+
+snapshotfields proves every mutable field is exported and restored;
+this analyzer proves the *compatibility* half of the contract: the JSON
+shape of core.StudySnapshot — and every state struct it reaches
+recursively — is extracted and compared against the golden
+ckpt.schema.json, which pins it under (envelope version, SnapshotVersion).
+Any field added, removed, renamed or retyped while the versions stay put
+is a finding: an old checkpoint would decode into a different shape than
+the one that wrote it, silently. Bumping core.SnapshotVersion (or the
+envelope version) sanctions the change; the golden is then re-pinned with
+` + "`go run ./cmd/sslint -write-schema`" + `. The analyzer triggers in
+the package that declares the envelope version const and sees
+StudySnapshot + SnapshotVersion in its own scope or a direct import, so
+fixtures can define a miniature contract locally.`,
+	Requires: []*analysis.Analyzer{WireSchema},
+	Run:      runCkptSchema,
+}
+
+// ckptAnchors locates the contract's constituents from the codec package.
+type ckptAnchors struct {
+	snap        *types.TypeName
+	snapVerPos  token.Pos
+	envPos      token.Pos // envelopeVersion const: the in-package anchor
+	snapVersion int64
+	envVersion  int64
+}
+
+// findCkptAnchors returns ok only for the package declaring the envelope
+// version const with StudySnapshot/SnapshotVersion visible (its own scope
+// first, then direct imports) — i.e. the checkpoint codec, or a fixture
+// modeled on it.
+func findCkptAnchors(pkg *types.Package) (ckptAnchors, bool) {
+	var a ckptAnchors
+	env, ok := pkg.Scope().Lookup("envelopeVersion").(*types.Const)
+	if !ok {
+		return a, false
+	}
+	a.envPos = env.Pos()
+	v, ok := constant.Int64Val(env.Val())
+	if !ok {
+		return a, false
+	}
+	a.envVersion = v
+	scopes := []*types.Scope{pkg.Scope()}
+	for _, imp := range pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, s := range scopes {
+		snap, ok := s.Lookup("StudySnapshot").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		ver, ok := s.Lookup("SnapshotVersion").(*types.Const)
+		if !ok {
+			continue
+		}
+		sv, ok := constant.Int64Val(ver.Val())
+		if !ok {
+			continue
+		}
+		a.snap, a.snapVerPos, a.snapVersion = snap, ver.Pos(), sv
+		return a, true
+	}
+	return a, false
+}
+
+func runCkptSchema(pass *analysis.Pass) (any, error) {
+	anchors, ok := findCkptAnchors(pass.Pkg)
+	if !ok {
+		return nil, nil // not the checkpoint codec
+	}
+	goldenRel := pass.GoldenPath()
+	if goldenRel == "" {
+		return nil, nil
+	}
+	anchorFile := pass.Fset.Position(anchors.envPos).Filename
+	if !pass.InSinkScope(pass.Analyzer.Name, pass.Pkg.Path(), anchorFile) {
+		return nil, nil
+	}
+	goldenPath, err := resolveGolden(pass.Fset, anchors.envPos, goldenRel)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Base(goldenPath)
+
+	x := newSchemaExtractor(func(obj *types.TypeName) (TypeSchema, bool) {
+		var f marshalShapeFact
+		if pass.ImportObjectFact(obj, &f) {
+			return f.Shape, true
+		}
+		return nil, false
+	})
+	x.addRoot(anchors.snap.Type(), pkgPathOf(anchors.snap), anchors.snap.Pos())
+	current := &CkptContract{
+		EnvelopeVersion: int(anchors.envVersion),
+		SnapshotVersion: int(anchors.snapVersion),
+		Types:           x.types,
+	}
+
+	var golden CkptContract
+	if err := readSchemaFile(goldenPath, &golden); err != nil {
+		pass.Reportf(anchors.envPos, "checkpoint-contract golden %s is missing or unreadable; run `go run ./cmd/sslint -write-schema` to pin the payload shape", base)
+		return nil, nil
+	}
+
+	if golden.EnvelopeVersion != current.EnvelopeVersion || golden.SnapshotVersion != current.SnapshotVersion {
+		// A version bump sanctions shape changes; the only obligation left
+		// is re-pinning the golden at the new version.
+		pass.Reportf(anchors.envPos, "checkpoint contract version moved (envelope %d -> %d, snapshot %d -> %d) but %s still pins the old one; run `go run ./cmd/sslint -write-schema` to re-pin", golden.EnvelopeVersion, current.EnvelopeVersion, golden.SnapshotVersion, current.SnapshotVersion, base)
+		return nil, nil
+	}
+
+	at := func(key, field string) token.Pos {
+		if field != "" {
+			if p := x.fieldPos[key][field]; p != token.NoPos && p != 0 {
+				return p
+			}
+		}
+		if p := x.typePos[key]; p != token.NoPos && p != 0 {
+			return p
+		}
+		return anchors.envPos
+	}
+	for _, d := range diffTypes(golden.Types, x.types) {
+		switch d.kind {
+		case "type-removed":
+			pass.Reportf(anchors.envPos, "checkpoint type %s dropped from the payload without a SnapshotVersion bump: version-%d checkpoints no longer round-trip; bump core.SnapshotVersion and re-pin %s", d.typeKey, golden.SnapshotVersion, base)
+		case "type-added":
+			pass.Reportf(at(d.typeKey, ""), "checkpoint type %s added to the payload without a SnapshotVersion bump; bump core.SnapshotVersion and re-pin %s with -write-schema", d.typeKey, base)
+		case "field-removed":
+			pass.Reportf(at(d.typeKey, ""), "checkpoint field %q of %s removed or renamed without a SnapshotVersion bump: existing version-%d checkpoints silently lose state on decode; bump core.SnapshotVersion and re-pin %s", d.field, d.typeKey, golden.SnapshotVersion, base)
+		case "field-changed":
+			pass.Reportf(at(d.typeKey, d.field), "checkpoint field %q of %s changed type %s -> %s without a SnapshotVersion bump; bump core.SnapshotVersion and re-pin %s", d.field, d.typeKey, d.old, d.new, base)
+		case "field-added":
+			pass.Reportf(at(d.typeKey, d.field), "checkpoint field %q of %s added without a SnapshotVersion bump: a version-%d payload no longer describes what this code writes; bump core.SnapshotVersion and re-pin %s", d.field, d.typeKey, golden.SnapshotVersion, base)
+		}
+	}
+	return nil, nil
+}
+
+func pkgPathOf(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrFlow forbids silent error drops where a drop costs durability or a
+// tenant.
+var ErrFlow = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: `error results must be checked or assigned; deliberate drops carry a directive
+
+In the deterministic core, the checkpoint write protocol and the service
+plane, an ignored error is how durability bugs are born: a Save whose
+return value nobody reads, a Close swallowed in a cleanup path, an
+encoder error vanishing mid-stream. Any call whose results include an
+error must have those results consumed — a bare call statement (also via
+go/defer) that discards an error is a finding, and so is binding the
+error position to _. Deliberate drops are allowed but must say why:
+` + "`_ = f()`" + ` under a //sslint:ignore errflow <reason> directive.
+Methods of types from hash, bytes and strings are exempt by construction:
+their Write-family methods are documented to never return an error (the
+FNV checksum writes in the checkpoint codec), unlike an io.Writer, whose
+static type promises nothing.`,
+	Run: runErrFlow,
+}
+
+func runErrFlow(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankErr(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDroppedCall reports a statement-position call whose results include
+// an error nobody can read.
+func checkDroppedCall(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil || !resultsIncludeError(t) {
+		return
+	}
+	if neverFails(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s%s is silently dropped; handle it, or assign to _ under a //sslint:ignore errflow directive with a reason", prefix, types.ExprString(call.Fun))
+}
+
+// checkBlankErr reports `_` bindings in error result positions.
+func checkBlankErr(pass *analysis.Pass, as *ast.AssignStmt) {
+	resultType := func(i int) types.Type {
+		if len(as.Rhs) == len(as.Lhs) {
+			return pass.TypesInfo.TypeOf(as.Rhs[i])
+		}
+		if len(as.Rhs) != 1 {
+			return nil
+		}
+		tup, ok := pass.TypesInfo.TypeOf(as.Rhs[0]).(*types.Tuple)
+		if !ok || i >= tup.Len() {
+			return nil
+		}
+		return tup.At(i).Type()
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := resultType(i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && neverFails(pass, call) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error from %s is discarded with _; a deliberate drop needs a //sslint:ignore errflow directive with a reason", types.ExprString(rhs))
+	}
+}
+
+// resultsIncludeError reports whether a call's result type (single value
+// or tuple) carries an error position.
+func resultsIncludeError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is an interface satisfying error (the
+// error type itself, or a richer interface embedding it). Concrete types
+// returned as themselves are the caller's to interpret.
+func isErrorType(t types.Type) bool {
+	return types.IsInterface(t) && types.Implements(t, errorIface)
+}
+
+// neverFails exempts methods whose receiver's static type lives in hash,
+// bytes or strings: their error-returning methods (the io.Writer-shaped
+// Write family) are documented to never fail. The receiver's *static*
+// type is what grants the exemption — a plain io.Writer promises nothing,
+// even if a never-failing implementation hides behind it.
+func neverFails(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "hash", "bytes", "strings":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/lint/analysis"
+)
+
+// Exhaustive makes enum dispatch total: every member, or a reasoned
+// default.
+var Exhaustive = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: `switches over string-enum const sets cover every member or carry a reasoned default
+
+The study states, spec validation codes, event types and disk kill points
+are declared string-enum const sets (State*, Code*, Event*, Op*): the
+classic drift is adding a member and missing one dispatch site, which
+then falls through silently. A switch (or if/else chain of == comparisons
+against the same expression) whose cases resolve to two or more declared
+constants of one such set must either cover every member of the set or
+carry a default (terminal else) annotated with a comment explaining why
+falling through is safe — an unreasoned default would hide exactly the
+new-member bug this analyzer exists to catch. The set is inferred from
+the constants used: among their shared CamelCase name prefixes, the one
+matching the most same-typed constants in the defining package wins.
+Dispatches over raw string literals or mixed conditions are out of scope.`,
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		f := f
+		// If-chains are analyzed from their head only; an IfStmt hanging off
+		// another's Else is part of that chain.
+		elseArms := make(map[*ast.IfStmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				if arm, ok := ifs.Else.(*ast.IfStmt); ok {
+					elseArms[arm] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkEnumSwitch(pass, f, n)
+			case *ast.IfStmt:
+				if !elseArms[n] {
+					checkEnumIfChain(pass, f, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkEnumSwitch handles `switch tag { case Const: ... }`.
+func checkEnumSwitch(pass *analysis.Pass, f *ast.File, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	var used []*types.Const
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			c := enumConstOf(pass, e)
+			if c == nil {
+				return // a literal or computed case: not an enum dispatch
+			}
+			used = append(used, c)
+		}
+	}
+	var defaultSpan *span
+	if deflt != nil {
+		defaultSpan = &span{pos: deflt.Pos(), end: deflt.End()}
+	}
+	checkEnumCoverage(pass, f, sw.Pos(), "a switch", used, defaultSpan)
+}
+
+// checkEnumIfChain handles `if x == A { } else if x == B || x == C { } else { }`.
+func checkEnumIfChain(pass *analysis.Pass, f *ast.File, head *ast.IfStmt) {
+	var used []*types.Const
+	var tag string
+	var terminal *ast.BlockStmt
+	for cur := head; ; {
+		if cur.Init != nil {
+			return
+		}
+		consts, condTag, ok := eqChainConsts(pass, cur.Cond)
+		if !ok {
+			return
+		}
+		if tag == "" {
+			tag = condTag
+		} else if tag != condTag {
+			return // arms compare different expressions: not one dispatch
+		}
+		used = append(used, consts...)
+		switch e := cur.Else.(type) {
+		case nil:
+		case *ast.IfStmt:
+			cur = e
+			continue
+		case *ast.BlockStmt:
+			terminal = e
+		}
+		break
+	}
+	var defaultSpan *span
+	if terminal != nil {
+		defaultSpan = &span{pos: terminal.Pos(), end: terminal.End()}
+	}
+	checkEnumCoverage(pass, f, head.Pos(), "an if/else chain", used, defaultSpan)
+}
+
+type span struct{ pos, end token.Pos }
+
+// checkEnumCoverage infers the enum set from the used constants and
+// reports a missing member (no default) or an unreasoned default.
+func checkEnumCoverage(pass *analysis.Pass, f *ast.File, at token.Pos, form string, used []*types.Const, deflt *span) {
+	prefix, members, ok := inferEnumSet(used)
+	if !ok {
+		return
+	}
+	if deflt != nil {
+		// Reported at the dispatch head, not the default arm: a comment
+		// anywhere near the arm is what counts as the reason.
+		if !spanHasComment(pass.Fset, f, deflt) {
+			pass.Reportf(at, "default in %s over %s* (%d members) needs a reason comment: an unreasoned default hides members added later", form, prefix, len(members))
+		}
+		return
+	}
+	covered := make(map[string]bool, len(used))
+	for _, c := range used {
+		covered[c.Name()] = true
+	}
+	var missing []string
+	for name := range members {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(at, "%s over %s* (%d members) misses %s; cover every member or add a default with a reason comment", form, prefix, len(members), strings.Join(missing, ", "))
+}
+
+// enumConstOf resolves e to a declared string-typed constant, or nil.
+func enumConstOf(pass *analysis.Pass, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return nil
+	}
+	b, ok := c.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return nil
+	}
+	return c
+}
+
+// eqChainConsts flattens `x == A || x == B` into its constants and the
+// shared tag expression (rendered as source text). Any other operator or
+// shape fails the whole chain.
+func eqChainConsts(pass *analysis.Pass, cond ast.Expr) ([]*types.Const, string, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch be.Op {
+	case token.LOR:
+		left, ltag, ok := eqChainConsts(pass, be.X)
+		if !ok {
+			return nil, "", false
+		}
+		right, rtag, ok := eqChainConsts(pass, be.Y)
+		if !ok || ltag != rtag {
+			return nil, "", false
+		}
+		return append(left, right...), ltag, true
+	case token.EQL:
+		if c := enumConstOf(pass, be.Y); c != nil {
+			return []*types.Const{c}, types.ExprString(be.X), true
+		}
+		if c := enumConstOf(pass, be.X); c != nil {
+			return []*types.Const{c}, types.ExprString(be.Y), true
+		}
+	}
+	return nil, "", false
+}
+
+// inferEnumSet derives the const set being dispatched on. All used
+// constants must share a defining package and an identical type, and at
+// least two distinct members must appear (a single comparison is a guard,
+// not a dispatch). Candidate set names are the CamelCase prefixes common
+// to every used constant; the candidate matching the most same-typed
+// constants in the defining package wins (ties to the longer prefix).
+func inferEnumSet(used []*types.Const) (string, map[string]*types.Const, bool) {
+	if len(used) == 0 {
+		return "", nil, false
+	}
+	first := used[0]
+	distinct := make(map[string]bool)
+	for _, c := range used {
+		if c.Pkg() != first.Pkg() || !types.Identical(c.Type(), first.Type()) {
+			return "", nil, false
+		}
+		distinct[c.Name()] = true
+	}
+	if len(distinct) < 2 {
+		return "", nil, false
+	}
+	var candidates []string
+	for _, p := range camelPrefixes(first.Name()) {
+		ok := true
+		for name := range distinct {
+			if !strings.HasPrefix(name, p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", nil, false
+	}
+	scope := first.Pkg().Scope()
+	var bestPrefix string
+	var best map[string]*types.Const
+	for _, p := range candidates {
+		members := make(map[string]*types.Const)
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, p) {
+				continue
+			}
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), first.Type()) {
+				continue
+			}
+			members[name] = c
+		}
+		if len(members) > len(best) || (len(members) == len(best) && len(p) > len(bestPrefix)) {
+			bestPrefix, best = p, members
+		}
+	}
+	if len(best) < 2 {
+		return "", nil, false
+	}
+	return bestPrefix, best, true
+}
+
+// camelPrefixes returns the prefixes of name ending at CamelCase word
+// boundaries, shortest first, including the full name.
+func camelPrefixes(name string) []string {
+	var out []string
+	runes := []rune(name)
+	for i := 1; i < len(runes); i++ {
+		if unicode.IsUpper(runes[i]) && !unicode.IsUpper(runes[i-1]) {
+			out = append(out, string(runes[:i]))
+		}
+	}
+	out = append(out, name)
+	return out
+}
+
+// spanHasComment reports whether a comment sits inside the span, on its
+// first line, or on the line directly above it — the shapes a reasoned
+// `default:` takes in practice.
+func spanHasComment(fset *token.FileSet, f *ast.File, s *span) bool {
+	startLine := fset.Position(s.pos).Line
+	for _, cg := range f.Comments {
+		if cg.Pos() >= s.pos && cg.Pos() <= s.end {
+			return true
+		}
+		line := fset.Position(cg.End()).Line
+		if line == startLine || line == startLine-1 {
+			return true
+		}
+	}
+	return false
+}

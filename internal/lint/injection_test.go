@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -190,5 +192,276 @@ func zzTitle(rank int, domain string) string {
 	}
 	if len(hit) != 1 || !strings.Contains(hit[0].Message, "fmt.Sprintf") {
 		t.Fatalf("injected Sprintf not caught; findings: %+v", findings)
+	}
+}
+
+// preV4Suite is the thirteen-analyzer suite as it stood before the
+// contract-drift gate landed: everything except the schema, exhaustive
+// and errflow analyzers. The v4 injection tests run it as the control.
+func preV4Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lint.APICodes, lint.CtxFlow, lint.FaultBoundary, lint.HotAlloc,
+		lint.LockDiscipline, lint.MapOrder, lint.NilTelemetry,
+		lint.NoWallTime, lint.PoolOnly, lint.Purity, lint.RaceCapture,
+		lint.SeededRand, lint.SnapshotFields,
+	}
+}
+
+// doctoredGolden copies a module-root schema golden into a temp file after
+// applying edit to its parsed JSON, and returns a DefaultScope whose
+// analyzer golden points at the doctored copy — "yesterday's pin", against
+// which today's code has drifted.
+func doctoredGolden(t *testing.T, analyzer, base string, edit func(types map[string]map[string]string)) *lint.Scope {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(moduleRoot(t), base))
+	if err != nil {
+		t.Fatalf("reading %s: %v", base, err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", base, err)
+	}
+	types := make(map[string]map[string]string)
+	for key, v := range doc["types"].(map[string]any) {
+		fields := make(map[string]string)
+		for name, desc := range v.(map[string]any) {
+			fields[name] = desc.(string)
+		}
+		types[key] = fields
+	}
+	edit(types)
+	doc["types"] = types
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), base)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scope := lint.DefaultScope()
+	scope.Goldens[analyzer] = path
+	return scope
+}
+
+// TestInjectedFieldRenameIsCaught proves wireschema closes the
+// silent-API-revision hole: against a golden pinning the old wire name
+// ("message_legacy"), today's apiError reads as a breaking remove plus an
+// unpinned add — and an injected diagnostics route is an additive finding
+// too. The pre-v4 suite sees none of it.
+func TestInjectedFieldRenameIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/studysvc": {{
+			Name: "zz_injected_route.go",
+			Src: `package studysvc
+
+import "net/http"
+
+// zzLoadavg is a diagnostics payload bolted on without re-pinning.
+type zzLoadavg struct {
+	Load1 float64 ` + "`json:\"load1\"`" + `
+}
+
+func zzRegister(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/admin/loadavg", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, zzLoadavg{})
+	})
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/studysvc")
+	if err != nil {
+		t.Fatalf("loading studysvc with injected route: %v", err)
+	}
+
+	scope := doctoredGolden(t, lint.WireSchema.Name, "api.schema.json", func(types map[string]map[string]string) {
+		fields := types["repro/internal/studysvc.apiError"]
+		fields["message_legacy"] = fields["message"]
+		delete(fields, "message")
+	})
+
+	base, err := lint.Run(pkgs, preV4Suite(), scope)
+	if err != nil {
+		t.Fatalf("running pre-v4 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v4 suite reported the drift — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), scope)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var removed, added, route bool
+	for _, f := range findings {
+		if f.Analyzer != lint.WireSchema.Name {
+			continue
+		}
+		if strings.Contains(f.Message, `wire field "message_legacy" of repro/internal/studysvc.apiError`) &&
+			strings.Contains(f.Message, "has been removed or renamed: breaking change") {
+			removed = true
+		}
+		if strings.Contains(f.Message, `wire field "message" of repro/internal/studysvc.apiError is not pinned`) {
+			added = true
+		}
+		if strings.Contains(f.Message, `route "GET /v1/admin/loadavg" is not pinned`) &&
+			filepath.Base(f.File) == "zz_injected_route.go" {
+			route = true
+		}
+	}
+	if !removed || !added || !route {
+		t.Fatalf("wire drift not fully caught (removed=%v added=%v route=%v); findings: %+v", removed, added, route, findings)
+	}
+}
+
+// TestInjectedSnapshotFieldDriftIsCaught proves ckptschema catches a
+// payload shape that moved under a pinned SnapshotVersion: against a
+// golden that predates DatasetState.FpIncr, the field reads as added
+// without a bump. The pre-v4 suite is silent.
+func TestInjectedSnapshotFieldDriftIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/checkpoint")
+	if err != nil {
+		t.Fatalf("loading checkpoint: %v", err)
+	}
+
+	scope := doctoredGolden(t, lint.CkptSchema.Name, "ckpt.schema.json", func(types map[string]map[string]string) {
+		delete(types["repro/internal/core.DatasetState"], "FpIncr")
+	})
+
+	base, err := lint.Run(pkgs, preV4Suite(), scope)
+	if err != nil {
+		t.Fatalf("running pre-v4 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v4 suite reported the drift — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), scope)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.CkptSchema.Name {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 || !strings.Contains(hit[0].Message, `checkpoint field "FpIncr" of repro/internal/core.DatasetState added without a SnapshotVersion bump`) {
+		t.Fatalf("snapshot field drift not caught; findings: %+v", findings)
+	}
+}
+
+// TestInjectedPartialStateSwitchIsCaught proves exhaustive catches the
+// new-member bug class: a switch over two of the six study states, no
+// default, smuggled into studysvc — a finding naming every missed member,
+// invisible to the pre-v4 suite.
+func TestInjectedPartialStateSwitchIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/studysvc": {{
+			Name: "zz_injected_switch.go",
+			Src: `package studysvc
+
+// zzBadge renders a state badge, forgetting two-thirds of the states.
+func zzBadge(state string) string {
+	switch state {
+	case StateRunning:
+		return "green"
+	case StateComplete:
+		return "blue"
+	}
+	return ""
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/studysvc")
+	if err != nil {
+		t.Fatalf("loading studysvc with injected switch: %v", err)
+	}
+
+	base, err := lint.Run(pkgs, preV4Suite(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running pre-v4 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v4 suite reported the partial switch — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.Exhaustive.Name && filepath.Base(f.File) == "zz_injected_switch.go" {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 || !strings.Contains(hit[0].Message, "misses StateCancelled, StateCancelling, StateFailed, StatePending") {
+		t.Fatalf("partial state switch not caught; findings: %+v", findings)
+	}
+}
+
+// TestInjectedDroppedSaveErrorIsCaught proves errflow guards the
+// durability path: a checkpoint Save whose error nobody reads — the
+// classic "best-effort" regression that silently stops persisting — is a
+// finding, and the pre-v4 suite passes it clean.
+func TestInjectedDroppedSaveErrorIsCaught(t *testing.T) {
+	loader, err := load.NewModuleLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	loader.Inject = map[string][]load.InjectedFile{
+		"repro/internal/checkpoint": {{
+			Name: "zz_injected_save.go",
+			Src: `package checkpoint
+
+import "repro/internal/core"
+
+// zzBestEffortSave drops the save error on the floor.
+func zzBestEffortSave(m *Manager, snap *core.StudySnapshot) {
+	m.Save(snap)
+}
+`,
+		}},
+	}
+	pkgs, err := loader.Load("./internal/checkpoint")
+	if err != nil {
+		t.Fatalf("loading checkpoint with injected save: %v", err)
+	}
+
+	base, err := lint.Run(pkgs, preV4Suite(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running pre-v4 suite: %v", err)
+	}
+	if len(base) != 0 {
+		t.Fatalf("pre-v4 suite reported the dropped error — the control is broken: %+v", base)
+	}
+
+	findings, err := lint.Run(pkgs, lint.All(), lint.DefaultScope())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var hit []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == lint.ErrFlow.Name && filepath.Base(f.File) == "zz_injected_save.go" {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) != 1 || !strings.Contains(hit[0].Message, "error returned by m.Save is silently dropped") {
+		t.Fatalf("dropped Save error not caught; findings: %+v", findings)
 	}
 }

@@ -1,0 +1,13 @@
+// Package bump is the codec after a sanctioned revision: SnapshotVersion
+// moved but the golden still pins the old version, so the only finding is
+// the re-pin reminder — the shape changes themselves are sanctioned.
+package bump
+
+const envelopeVersion = 1 // want `checkpoint contract version moved \(envelope 1 -> 1, snapshot 2 -> 3\) but ckpt\.schema\.json still pins the old one; run .go run \./cmd/sslint -write-schema. to re-pin`
+
+const SnapshotVersion = 3
+
+type StudySnapshot struct {
+	Version int
+	Extra   bool
+}

@@ -1,0 +1,26 @@
+// Package clean is a miniature checkpoint codec: it declares the envelope
+// version and sees a StudySnapshot + SnapshotVersion in its own scope, so
+// the ckptschema analyzer treats it as the contract package. The test pins
+// its golden from this exact source: no drift, no findings.
+package clean
+
+// envelopeVersion is the on-disk framing version.
+const envelopeVersion = 1
+
+// SnapshotVersion is the payload schema version.
+const SnapshotVersion = 3
+
+// Inner is a state struct the snapshot reaches.
+type Inner struct {
+	N     int
+	Names []string
+}
+
+// StudySnapshot is the payload root.
+type StudySnapshot struct {
+	Version int
+	Hash    uint64
+	Inner   Inner
+	ByKey   map[string]float64
+	Blob    []byte
+}

@@ -1,0 +1,22 @@
+// Package drift is the clean codec after unsanctioned payload changes:
+// the golden the test pins predates a new field and a retype, but the
+// versions did not move — every divergence is a finding.
+package drift
+
+const envelopeVersion = 1
+
+const SnapshotVersion = 3
+
+// Inner retyped N from string to int without a bump.
+type Inner struct {
+	N     int // want `checkpoint field "N" of ckptschema/drift\.Inner changed type string -> int without a SnapshotVersion bump`
+	Names []string
+}
+
+// StudySnapshot grew Extra without a bump.
+type StudySnapshot struct {
+	Version int
+	Hash    uint64
+	Inner   Inner
+	Extra   bool // want `checkpoint field "Extra" of ckptschema/drift\.StudySnapshot added without a SnapshotVersion bump: a version-3 payload no longer describes what this code writes`
+}

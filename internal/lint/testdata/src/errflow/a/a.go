@@ -1,0 +1,68 @@
+// Package a exercises the errflow analyzer: error results must be checked
+// or assigned, blank discards need a reasoned directive, and the
+// never-failing hash/bytes/strings writers are exempt.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"io"
+)
+
+func fail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func value() int { return 1 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func drops(c closer) {
+	fail()          // want `error returned by fail is silently dropped; handle it, or assign to _ under a //sslint:ignore errflow directive with a reason`
+	defer fail()    // want `error returned by deferred fail is silently dropped`
+	go fail()       // want `error returned by spawned fail is silently dropped`
+	pair()          // want `error returned by pair is silently dropped`
+	defer c.Close() // want `error returned by deferred c\.Close is silently dropped`
+	value()         // no error in the results: clean
+}
+
+func blanks() {
+	_ = fail()     // want `error from fail\(\) is discarded with _; a deliberate drop needs a //sslint:ignore errflow directive with a reason`
+	n, _ := pair() // want `error from pair\(\) is discarded with _`
+	_ = n
+	//sslint:ignore errflow fixture: proving a reasoned blank discard is accepted
+	_ = fail()
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// exemptWriters: the hash/bytes/strings Write family is documented to
+// never fail, so statement-position calls are clean — but the same method
+// behind a plain io.Writer promises nothing.
+func exemptWriters(w io.Writer, buf *bytes.Buffer) {
+	h := fnv.New64a()
+	h.Write([]byte("ok"))
+	buf.WriteString("ok")
+	buf.Write(nil)
+	w.Write(nil) // want `error returned by w\.Write is silently dropped`
+}
+
+// conversions are not calls: clean.
+type errAlias = error
+
+func convert(e error) errAlias {
+	return errAlias(e)
+}

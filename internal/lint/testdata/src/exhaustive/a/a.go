@@ -1,0 +1,185 @@
+// Package a exercises the exhaustive analyzer: dispatches over declared
+// string-enum const sets must cover every member or carry a reasoned
+// default.
+package a
+
+// State is a four-member string enum in the style of the studysvc study
+// states.
+type State string
+
+const (
+	StateRunning State = "running"
+	StatePaused  State = "paused"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Op shares the camel-prefix convention but is a different set.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+)
+
+func act(s State) int {
+	return 0
+}
+
+// full covers every member: clean.
+func full(s State) int {
+	switch s {
+	case StateRunning:
+		return 0
+	case StatePaused:
+		return 1
+	case StateDone:
+		return 2
+	case StateFailed:
+		return 3
+	}
+	return -1
+}
+
+// missing skips two members and has no default.
+func missing(s State) int {
+	switch s { // want `a switch over State\* \(4 members\) misses StateDone, StateFailed; cover every member or add a default with a reason comment`
+	case StateRunning:
+		return 0
+	case StatePaused:
+		return 1
+	}
+	return -1
+}
+
+// multiCase groups members in one case clause; still exhaustive: clean.
+func multiCase(s State) int {
+	switch s {
+	case StateRunning, StatePaused:
+		return 0
+	case StateDone, StateFailed:
+		return 1
+	}
+	return -1
+}
+
+// unreasonedDefault hides future members behind a bare default.
+func unreasonedDefault(s State) int {
+	switch s { // want `default in a switch over State\* \(4 members\) needs a reason comment: an unreasoned default hides members added later`
+	case StateRunning:
+		return 0
+	case StatePaused:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// reasonedDefault says why falling through is safe: clean.
+func reasonedDefault(s State) int {
+	switch s {
+	case StateRunning:
+		return 0
+	case StatePaused:
+		return 1
+	default:
+		// terminal states are all rendered the same way
+		return -1
+	}
+}
+
+// chainMissing is the if/else spelling of a partial dispatch.
+func chainMissing(s State) int {
+	if s == StateRunning { // want `an if/else chain over State\* \(4 members\) misses StateFailed; cover every member or add a default with a reason comment`
+		return 0
+	} else if s == StatePaused || s == StateDone {
+		return 1
+	}
+	return -1
+}
+
+// chainUnreasoned has a bare terminal else.
+func chainUnreasoned(s State) int {
+	if s == StateRunning { // want `default in an if/else chain over State\* \(4 members\) needs a reason comment`
+		return 0
+	} else if s == StatePaused {
+		return 1
+	} else if s == StateDone {
+		return 2
+	} else {
+		return act(s)
+	}
+}
+
+// chainReasoned carries the reason on the terminal else: clean.
+func chainReasoned(s State) int {
+	if s == StateRunning {
+		return 0
+	} else if s == StatePaused {
+		return 1
+	} else {
+		// done and failed share the archived rendering
+		return 2
+	}
+}
+
+// chainFull covers everything without an else: clean.
+func chainFull(s State) int {
+	if s == StateRunning || s == StatePaused {
+		return 0
+	} else if s == StateDone || s == StateFailed {
+		return 1
+	}
+	return -1
+}
+
+// guard is a single comparison, not a dispatch: clean.
+func guard(s State) bool {
+	if s == StateDone {
+		return true
+	}
+	return false
+}
+
+// literals dispatches on raw strings, out of scope: clean.
+func literals(s string) int {
+	switch s {
+	case "running":
+		return 0
+	case "paused":
+		return 1
+	}
+	return -1
+}
+
+// mixed has a literal case alongside a const, out of scope: clean.
+func mixed(s State) int {
+	switch s {
+	case StateRunning:
+		return 0
+	case "paused":
+		return 1
+	}
+	return -1
+}
+
+// otherSet dispatches over the complete Op set: clean.
+func otherSet(op string) int {
+	switch op {
+	case OpRead:
+		return 0
+	case OpWrite:
+		return 1
+	}
+	return -1
+}
+
+// suppressed carries a directive: the finding is eaten.
+func suppressed(s State) int {
+	//sslint:ignore exhaustive fixture: proving dispatches can be suppressed with a reason
+	switch s {
+	case StateRunning:
+		return 0
+	case StatePaused:
+		return 1
+	}
+	return -1
+}

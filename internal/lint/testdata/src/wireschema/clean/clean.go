@@ -1,0 +1,44 @@
+// Package clean is a miniature /v1 service whose extracted contract the
+// test pins to a golden and re-checks: no drift, no findings.
+package clean
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Reply is a handler response type.
+type Reply struct {
+	ID      int    `json:"id"`
+	Message string `json:"message,omitempty"`
+}
+
+// CreateReq is a decode target.
+type CreateReq struct {
+	Name string `json:"name"`
+}
+
+// writeJSON forwards its payload to the encoder, so arguments at its call
+// sites are wire roots.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	//sslint:ignore errflow fixture helper; encode failures mean the client hung up
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Routes builds the served surface.
+func Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/items", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Reply{ID: 1})
+	})
+	mux.HandleFunc("POST /v1/items", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, Reply{ID: 2, Message: req.Name})
+	})
+	return mux
+}

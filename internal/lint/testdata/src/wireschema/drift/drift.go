@@ -1,0 +1,46 @@
+// Package drift is the clean service after an unsanctioned API revision:
+// the test pins a golden from the pre-revision world (field "message"
+// instead of "msg", a DELETE route that no longer exists, and no POST
+// route yet) and expects one finding per divergence.
+package drift
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Reply renamed its wire field "message" to "msg" without re-pinning:
+// the golden reports the old name removed and the new one unpinned.
+type Reply struct { // want `wire field "message" of wireschema/drift\.Reply \(pinned string,omitempty in api\.schema\.json\) has been removed or renamed: breaking change for clients`
+	ID  int    `json:"id"`
+	Msg string `json:"msg,omitempty"` // want `wire field "msg" of wireschema/drift\.Reply is not pinned in api\.schema\.json: additive change`
+}
+
+// CreateReq is unchanged.
+type CreateReq struct {
+	Name string `json:"name"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	//sslint:ignore errflow fixture helper; encode failures mean the client hung up
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Routes serves GET (pinned) and POST (not yet pinned); the pinned
+// DELETE route is gone.
+func Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/items", func(w http.ResponseWriter, r *http.Request) { // want `route "DELETE /v1/items/\{id\}" is pinned in api\.schema\.json but no longer served: breaking change for clients`
+		writeJSON(w, Reply{ID: 1})
+	})
+	mux.HandleFunc("POST /v1/items", func(w http.ResponseWriter, r *http.Request) { // want `route "POST /v1/items" is not pinned in api\.schema\.json: additive change`
+		var req CreateReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, Reply{ID: 2, Msg: req.Name})
+	})
+	return mux
+}

@@ -57,6 +57,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//sslint:ignore errflow the status line is already on the wire; an encode failure means the client hung up
 	enc.Encode(v)
 }
 
@@ -107,9 +108,9 @@ func (m *Manager) Handler() http.Handler {
 	mux.Handle("GET /v1/studies/{id}/experiments/{expID}", instrument(reg, "experiment", m.withStudy(m.handleExperiment)))
 	mux.Handle("GET /v1/studies/{id}/domains", instrument(reg, "domains", m.withStudy(m.handleDomains)))
 	mux.Handle("/v1/studies/{id}/web/", instrument(reg, "serp", http.HandlerFunc(m.handleWeb)))
-	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/", instrument(reg, "other", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no such route", nil)
-	})
+	})))
 	return mux
 }
 
@@ -213,12 +214,20 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request, h *Handle
 	for {
 		evs, notify := h.EventsSince(next)
 		for _, e := range evs {
+			// A write failure means the client hung up mid-stream; the
+			// request context will cancel momentarily, so just stop here.
 			if sse {
-				io.WriteString(w, "data: ")
+				if _, err := io.WriteString(w, "data: "); err != nil {
+					return
+				}
 			}
-			enc.Encode(e)
+			if err := enc.Encode(e); err != nil {
+				return
+			}
 			if sse {
-				io.WriteString(w, "\n")
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return
+				}
 			}
 		}
 		next += len(evs)
@@ -279,7 +288,9 @@ func (m *Manager) handleExperiment(w http.ResponseWriter, r *http.Request, h *Ha
 func (m *Manager) handleDomains(w http.ResponseWriter, r *http.Request, h *Handle) {
 	limit := 0
 	if q := r.URL.Query().Get("limit"); q != "" {
-		limit, _ = strconv.Atoi(q)
+		if n, err := strconv.Atoi(q); err == nil {
+			limit = n
+		}
 	}
 	names := h.study.World.Web.DomainNames()
 	if limit > 0 && limit < len(names) {

@@ -400,3 +400,31 @@ func TestEventsSSEFraming(t *testing.T) {
 		t.Fatalf("from=%d returned %d events, want 1", len(all)-1, rest)
 	}
 }
+
+// TestCatchAll404Envelope pins the fallthrough route: an unknown /v1 path
+// is instrumented like every real route and rejects with the structured
+// envelope, not net/http's plain-text 404.
+func TestCatchAll404Envelope(t *testing.T) {
+	_, srv, reg := newTestServer(t, 1, 1)
+	resp, err := http.Get(srv.URL + "/v1/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	apiErr := decodeErr(t, resp)
+	if apiErr.Code != ErrCodeNotFound {
+		t.Fatalf("code %q, want %q", apiErr.Code, ErrCodeNotFound)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("envelope carried no message")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["api_req_other_total"] == 0 {
+		t.Fatal("catch-all requests are not counted under api_req_other_total")
+	}
+}

@@ -122,8 +122,18 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+// The event types of the progress log, as a declared const set so every
+// dispatch over them is checkable for exhaustiveness.
+const (
+	EventLaunched  = "launched"
+	EventRecovered = "recovered"
+	EventDay       = "day"
+	EventState     = "state"
+)
+
 // Event is one entry in a study's append-only progress log, streamed by
-// the events endpoint. Type is "launched", "recovered", "day" or "state".
+// the events endpoint. Type is EventLaunched, EventRecovered, EventDay or
+// EventState.
 type Event struct {
 	Seq   int    `json:"seq"`
 	Type  string `json:"type"`
@@ -275,7 +285,7 @@ func (h *Handle) setState(state string, err error) {
 		h.err = err
 	}
 	h.mu.Unlock()
-	ev := Event{Type: "state", State: state}
+	ev := Event{Type: EventState, State: state}
 	if err != nil {
 		ev.Error = err.Error()
 	}
@@ -297,19 +307,18 @@ func writeSpec(dir string, spec searchseizure.StudySpec) error {
 		return err
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(append(raw, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
+	_, werr := tmp.Write(append(raw, '\n'))
+	if werr == nil {
+		werr = tmp.Sync()
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
 	}
-	if err := tmp.Close(); err != nil {
+	if werr != nil {
+		//sslint:ignore errflow best-effort cleanup of a temp file already being reported as a write failure
 		os.Remove(name)
-		return err
+		return werr
 	}
 	return os.Rename(name, filepath.Join(dir, specFile))
 }
@@ -405,7 +414,7 @@ func (m *Manager) launch(id string, spec searchseizure.StudySpec, persist bool) 
 		fp := h.dayFP
 		h.mu.Unlock()
 		h.appendEvent(Event{
-			Type: "day", Day: int(d), Days: h.days,
+			Type: EventDay, Day: int(d), Days: h.days,
 			Fingerprint: fmt.Sprintf("%#x", fp),
 		})
 	}
@@ -421,7 +430,7 @@ func (m *Manager) launch(id string, spec searchseizure.StudySpec, persist bool) 
 	m.wg.Add(1)
 	m.mu.Unlock()
 
-	h.appendEvent(Event{Type: "launched", Days: h.days})
+	h.appendEvent(Event{Type: EventLaunched, Days: h.days})
 	m.logf("studysvc: %s launched (seed=%d faults=%s days=%d)", id, spec.Seed, spec.Faults, h.days)
 	go h.run(ctx)
 	return h, nil
@@ -446,7 +455,7 @@ func (h *Handle) run(ctx context.Context) {
 		h.nextDay = from
 		h.dayFP = uint64(s.World.Data.DayFingerprint())
 		h.mu.Unlock()
-		h.appendEvent(Event{Type: "recovered", Day: from, Days: h.days})
+		h.appendEvent(Event{Type: EventRecovered, Day: from, Days: h.days})
 		h.m.logf("studysvc: %s resumed from day %d/%d", h.ID, from, h.days)
 	}
 	// pending → running, unless a cancel already raced in.
@@ -454,7 +463,7 @@ func (h *Handle) run(ctx context.Context) {
 	if h.state == StatePending {
 		h.state = StateRunning
 		h.mu.Unlock()
-		h.appendEvent(Event{Type: "state", State: StateRunning})
+		h.appendEvent(Event{Type: EventState, State: StateRunning})
 	} else {
 		h.mu.Unlock()
 	}
@@ -515,7 +524,7 @@ func (m *Manager) Cancel(id string) (*Handle, bool) {
 	}
 	h.mu.Unlock()
 	if !already {
-		h.appendEvent(Event{Type: "state", State: StateCancelling})
+		h.appendEvent(Event{Type: EventState, State: StateCancelling})
 		h.cancel()
 	}
 	return h, true

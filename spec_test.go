@@ -3,6 +3,7 @@ package searchseizure
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -200,5 +201,40 @@ func TestExperimentUnknownIDIsTyped(t *testing.T) {
 	}
 	if got := s.ListExperiments(); len(got) == 0 || got[0].ID == "" {
 		t.Fatalf("ListExperiments() = %v", got)
+	}
+}
+
+// TestSpecPresetsPinned is the preset-drift guard: every advertised preset
+// validates, resolves through WithDefaults to a concrete Config, and
+// hashes to a pinned value. A drifted hash means a preset silently changed
+// shape — existing checkpoints taken under it stop resuming (RestoreSnapshot
+// checks the hash), so a deliberate change must update both the pin here
+// and the study docs.
+func TestSpecPresetsPinned(t *testing.T) {
+	pinned := map[string]string{
+		"test":    "860763aaa157a115",
+		"bench":   "8af150a8d35f89ab",
+		"default": "982ceb749b843d62",
+	}
+	if len(pinned) != len(SpecPresets()) {
+		t.Fatalf("pinned %d presets, SpecPresets advertises %d: pin the new one", len(pinned), len(SpecPresets()))
+	}
+	for _, name := range SpecPresets() {
+		spec := StudySpec{Preset: name}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("preset %q does not validate: %v", name, err)
+		}
+		full := spec.WithDefaults()
+		if full.Preset != name || full.Seed == 0 || full.Faults == "" {
+			t.Fatalf("preset %q did not resolve defaults: %+v", name, full)
+		}
+		cfg, err := full.Config()
+		if err != nil {
+			t.Fatalf("preset %q does not map to a config: %v", name, err)
+		}
+		got := fmt.Sprintf("%016x", cfg.ConfigHash())
+		if got != pinned[name] {
+			t.Fatalf("preset %q config hash drifted: got %s, pinned %s (a deliberate change must re-pin here)", name, got, pinned[name])
+		}
 	}
 }
